@@ -1,0 +1,305 @@
+// Benchmarks regenerating the paper's evaluation, one per figure and
+// theorem-level claim (see DESIGN.md's experiment index). Each bench
+// reports the paper's metric as a custom unit alongside ns/op, so
+// `go test -bench=.` reproduces the shape of every table and figure:
+//
+//	BenchmarkFig5Convergence/n=45  ... rounds/op, normal-edges, connection-edges, virtual-nodes
+//	BenchmarkFig6Rounds/n=45       ... rounds-to-stable, rounds-to-almost-stable
+//	BenchmarkFig7EdgeDensity/n=45  ... total-nodes, total-edges
+//	BenchmarkJoin/n=45             ... recovery rounds after one join
+//	...
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chord"
+	"repro/internal/churn"
+	"repro/internal/ident"
+	"repro/internal/rechord"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topogen"
+)
+
+// paperSizes is the sweep of Section 5.
+var paperSizes = []int{5, 15, 25, 35, 45, 65, 85, 105}
+
+// benchSizes trims the sweep so the full bench suite stays tractable;
+// pass -bench-full via -args to use the paper's full range.
+var benchSizes = []int{5, 15, 45, 105}
+
+func buildRandom(n int, seed int64, workers int) (*rechord.Network, []ident.ID) {
+	rng := rand.New(rand.NewSource(seed))
+	ids := topogen.RandomIDs(n, rng)
+	return topogen.Random().Build(ids, rng, rechord.Config{Workers: workers}), ids
+}
+
+// BenchmarkFig5Convergence regenerates Figure 5: edge and node counts
+// of the stabilized network per peer count.
+func BenchmarkFig5Convergence(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var normal, conn, virt, rounds float64
+			for i := 0; i < b.N; i++ {
+				nw, _ := buildRandom(n, int64(i), 0)
+				res, err := sim.RunToStable(nw, sim.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				normal += float64(res.Final.NormalEdges())
+				conn += float64(res.Final.ConnectionEdges)
+				virt += float64(res.Final.VirtualNodes)
+				rounds += float64(res.Rounds)
+			}
+			div := float64(b.N)
+			b.ReportMetric(normal/div, "normal-edges")
+			b.ReportMetric(conn/div, "connection-edges")
+			b.ReportMetric(virt/div, "virtual-nodes")
+			b.ReportMetric(rounds/div, "rounds")
+		})
+	}
+}
+
+// BenchmarkFig6Rounds regenerates Figure 6: rounds to the stable and
+// almost-stable states.
+func BenchmarkFig6Rounds(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var stable, almost float64
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(int64(i)))
+				ids := topogen.RandomIDs(n, rng)
+				nw := topogen.Random().Build(ids, rng, rechord.Config{})
+				idl := rechord.ComputeIdeal(ids)
+				res, err := sim.RunToStable(nw, sim.Options{Ideal: idl})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stable += float64(res.Rounds)
+				almost += float64(res.AlmostStableRound)
+			}
+			b.ReportMetric(stable/float64(b.N), "rounds-to-stable")
+			b.ReportMetric(almost/float64(b.N), "rounds-to-almost-stable")
+		})
+	}
+}
+
+// BenchmarkFig7EdgeDensity regenerates Figure 7: total edges against
+// total nodes in the final graph.
+func BenchmarkFig7EdgeDensity(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var nodes, edges float64
+			for i := 0; i < b.N; i++ {
+				nw, _ := buildRandom(n, int64(i), 0)
+				res, err := sim.RunToStable(nw, sim.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes += float64(res.Final.TotalNodes())
+				edges += float64(res.Final.TotalEdges())
+			}
+			b.ReportMetric(nodes/float64(b.N), "total-nodes")
+			b.ReportMetric(edges/float64(b.N), "total-edges")
+		})
+	}
+}
+
+// BenchmarkConvergenceShapes measures Theorem 1.1 across adversarial
+// initial topologies.
+func BenchmarkConvergenceShapes(b *testing.B) {
+	for _, gen := range topogen.All() {
+		b.Run(fmt.Sprintf("%s/n=45", gen.Name), func(b *testing.B) {
+			var rounds float64
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(int64(i)))
+				ids := topogen.RandomIDs(45, rng)
+				nw := gen.Build(ids, rng, rechord.Config{})
+				res, err := sim.RunToStable(nw, sim.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds += float64(res.Rounds)
+			}
+			b.ReportMetric(rounds/float64(b.N), "rounds")
+		})
+	}
+}
+
+// BenchmarkJoin measures Theorem 4.1: recovery after an isolated join
+// into a stable network.
+func BenchmarkJoin(b *testing.B) {
+	benchChurn(b, "join")
+}
+
+// BenchmarkLeave measures Theorem 4.2 for graceful departures.
+func BenchmarkLeave(b *testing.B) {
+	benchChurn(b, "leave")
+}
+
+// BenchmarkFail measures Theorem 4.2 for crash failures.
+func BenchmarkFail(b *testing.B) {
+	benchChurn(b, "fail")
+}
+
+func benchChurn(b *testing.B, kind string) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var rounds float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				rng := rand.New(rand.NewSource(int64(i)))
+				nw, ids, err := churn.StableNetwork(n, rng, rechord.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ev := churn.Event{Kind: kind}
+				if kind == "join" {
+					ev.ID = ident.ID(rng.Uint64() | 1)
+					ev.Contact = ids[rng.Intn(len(ids))]
+				} else {
+					ev.ID = ids[rng.Intn(len(ids))]
+				}
+				b.StartTimer()
+				rec, err := churn.Apply(nw, ev, 0)
+				if err != nil || !rec.Stable {
+					b.Fatalf("%v (stable=%v)", err, rec.Stable)
+				}
+				rounds += float64(rec.Rounds)
+			}
+			b.ReportMetric(rounds/float64(b.N), "recovery-rounds")
+		})
+	}
+}
+
+// BenchmarkFact21Check measures the Chord-subgraph verification of
+// Fact 2.1 on a converged network.
+func BenchmarkFact21Check(b *testing.B) {
+	nw, ids := buildRandom(45, 1, 0)
+	if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	idl := rechord.ComputeIdeal(ids)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cg := idl.ChordGraph()
+		rg := nw.ReChordGraph()
+		direct := 0
+		for _, e := range cg.AllEdges() {
+			if rg.HasEdge(e.From, e.To, e.Kind) {
+				direct++
+			}
+		}
+		if direct == 0 {
+			b.Fatal("no chord edges found")
+		}
+	}
+}
+
+// BenchmarkLookup measures Chord-emulated lookups over the stable
+// network (Section 1.1's O(log n) routing).
+func BenchmarkLookup(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			nw, ids, err := churn.StableNetwork(n, rng, rechord.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var hops float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, path, err := routing.Route(nw, ids[i%len(ids)], ident.ID(rng.Uint64()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				hops += float64(len(path) - 1)
+			}
+			b.ReportMetric(hops/float64(b.N), "hops")
+		})
+	}
+}
+
+// BenchmarkChordBaselineLookup measures the classic Chord baseline's
+// lookup for comparison with BenchmarkLookup.
+func BenchmarkChordBaselineLookup(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			ids := topogen.RandomIDs(n, rng)
+			s := chord.BuildCorrect(ids)
+			var hops float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, h, err := s.FindSuccessor(ids[i%len(ids)], ident.ID(rng.Uint64()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				hops += float64(h)
+			}
+			b.ReportMetric(hops/float64(b.N), "hops")
+		})
+	}
+}
+
+// BenchmarkRound measures the cost of a single synchronous round at
+// steady state, serial vs. parallel — the engine's hot path.
+func BenchmarkRound(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(fmt.Sprintf("%s/n=105", name), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			nw, _, err := churn.StableNetwork(105, rng, rechord.Config{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nw.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshot measures fixed-point detection (full-state deep
+// compare), the other engine hot path.
+func BenchmarkSnapshot(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	nw, _, err := churn.StableNetwork(105, rng, rechord.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s1 := nw.TakeSnapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s2 := nw.TakeSnapshot()
+		if !s1.Equal(s2) {
+			b.Fatal("snapshots differ at steady state")
+		}
+	}
+}
+
+// TestPaperSizesCovered keeps the full sweep definition compiled and
+// documents which sizes the paper used.
+func TestPaperSizesCovered(t *testing.T) {
+	if len(paperSizes) != 8 || paperSizes[0] != 5 || paperSizes[len(paperSizes)-1] != 105 {
+		t.Fatalf("paper sweep wrong: %v", paperSizes)
+	}
+	for _, n := range benchSizes {
+		found := false
+		for _, p := range paperSizes {
+			if n == p {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("bench size %d not in the paper's sweep", n)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Command rechord-figures regenerates every figure and theorem-level
+// experiment of the paper's evaluation (see DESIGN.md's experiment
+// index and EXPERIMENTS.md for paper-vs-measured results).
+//
+// Usage:
+//
+//	rechord-figures                 # everything, paper-scale
+//	rechord-figures -fig 5          # one figure
+//	rechord-figures -exp join       # one experiment
+//	rechord-figures -quick          # reduced sweep for smoke tests
+//	rechord-figures -csv dir/       # also dump CSVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/experiments"
+	"repro/internal/export"
+)
+
+var runners = map[string]func(experiments.Config) (*experiments.Result, error){
+	"fig5":        experiments.Fig5,
+	"fig6":        experiments.Fig6,
+	"fig7":        experiments.Fig7,
+	"convergence": experiments.Convergence,
+	"join":        experiments.Join,
+	"leave":       experiments.Leave,
+	"fail":        experiments.Fail,
+	"fact21":      experiments.Fact21,
+	"chordfail":   experiments.ChordFail,
+	"budget":      experiments.Budget,
+	"lookup":      experiments.Lookup,
+	"messages":    experiments.Messages,
+	"healing":     experiments.Healing,
+	"ablation":    experiments.Ablation,
+}
+
+func main() {
+	var (
+		fig    = flag.Int("fig", 0, "regenerate one figure (5, 6 or 7)")
+		exp    = flag.String("exp", "", "run one experiment by name (see -list)")
+		list   = flag.Bool("list", false, "list experiment names")
+		quick  = flag.Bool("quick", false, "reduced sweep (for smoke testing)")
+		seed   = flag.Int64("seed", 1, "sweep seed")
+		reps   = flag.Int("reps", 0, "replications per size (0 = paper's 30, or 3 with -quick)")
+		plot   = flag.Bool("plot", true, "render ASCII plots where available")
+		csvDir = flag.String("csv", "", "directory to write CSV files to")
+	)
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(runners))
+		for n := range runners {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.Seed = *seed
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+
+	var names []string
+	switch {
+	case *fig != 0:
+		names = []string{fmt.Sprintf("fig%d", *fig)}
+	case *exp != "":
+		names = []string{*exp}
+	default:
+		names = []string{"fig5", "fig6", "fig7", "convergence", "join", "leave", "fail",
+			"fact21", "chordfail", "budget", "lookup", "messages", "healing", "ablation"}
+	}
+
+	for _, name := range names {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rechord-figures: unknown experiment %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		res, err := run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rechord-figures: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if err := res.Table.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *plot && len(res.Series) > 0 {
+			fmt.Println()
+			if err := export.Plot(os.Stdout, res.Name, 64, 14, res.Series...); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+		keys := make([]string, 0, len(res.Fits))
+		for k := range res.Fits {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			f := res.Fits[k]
+			fmt.Printf("fit: %-22s ~ %8.3f * %-9s (R2 %.3f)\n", k, f.C, f.Shape.Name, f.R2)
+		}
+		for _, n := range res.Notes {
+			fmt.Printf("note: %s\n", n)
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, res.Name+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := res.Table.WriteCSV(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("csv: %s\n", path)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "Re-Chord: A
+// Self-stabilizing Chord Overlay Network" (Kniesburges, Koutsopoulos,
+// Scheideler; SPAA 2011).
+//
+// The core protocol lives in internal/rechord; see README.md for the
+// architecture, DESIGN.md for the system inventory and experiment
+// index, and EXPERIMENTS.md for paper-vs-measured results. The
+// benchmarks in bench_test.go regenerate every figure of the paper's
+// evaluation; the binaries under cmd/ and the programs under examples/
+// exercise the public API end to end.
+package repro

@@ -1,0 +1,43 @@
+// Churn: a stable Re-Chord network absorbs joins, graceful leaves and
+// crash failures, re-stabilizing after each event (Theorems 4.1 and
+// 4.2: O(log^2 n) for joins, O(log n) for departures).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/churn"
+	"repro/internal/ident"
+	"repro/internal/rechord"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	nw, ids, err := churn.StableNetwork(24, rng, rechord.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stable network of %d peers\n", nw.NumPeers())
+
+	events := []churn.Event{
+		{Kind: "join", ID: ident.ID(rng.Uint64() | 1), Contact: ids[0]},
+		{Kind: "join", ID: ident.ID(rng.Uint64() | 1), Contact: ids[5]},
+		{Kind: "leave", ID: ids[3]},
+		{Kind: "fail", ID: ids[9]},
+		{Kind: "join", ID: ident.ID(rng.Uint64() | 1), Contact: ids[12]},
+	}
+	recs, err := churn.RunSequence(nw, events, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rec := range recs {
+		fmt.Printf("%-5s %-10s -> re-stabilized in %2d rounds\n",
+			rec.Event.Kind, rec.Event.ID, rec.Rounds)
+	}
+	if err := churn.VerifyStable(nw); err != nil {
+		log.Fatalf("network not in the legal state: %v", err)
+	}
+	fmt.Printf("network of %d peers back in the exact stable topology\n", nw.NumPeers())
+}

@@ -1,0 +1,48 @@
+// Quickstart: build a random weakly connected network of peers, run
+// the six Re-Chord self-stabilization rules to the fixed point, and
+// verify the result is the legal Chord-containing topology.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/rechord"
+	"repro/internal/sim"
+	"repro/internal/topogen"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// 25 peers with uniformly random identifiers in [0,1), initially
+	// connected as a random weakly connected graph — the paper's
+	// Section 5 initialization.
+	ids := topogen.RandomIDs(25, rng)
+	nw := topogen.Random().Build(ids, rng, rechord.Config{})
+
+	// The oracle knows the unique stable topology for this peer set;
+	// it also provides the paper's "almost stable" detector.
+	ideal := rechord.ComputeIdeal(ids)
+
+	// Run synchronous rounds until the global state stops changing.
+	res, err := sim.RunToStable(nw, sim.Options{Ideal: ideal})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stable after %d rounds (all desired edges existed after %d)\n",
+		res.Rounds, res.AlmostStableRound)
+
+	// The converged state is exactly the stable Re-Chord network ...
+	if err := ideal.Matches(nw); err != nil {
+		log.Fatalf("unexpected final state: %v", err)
+	}
+	fmt.Println("final state matches the oracle topology")
+
+	// ... which contains Chord as a subgraph (Fact 2.1): peers, their
+	// ring successors, and all fingers.
+	m := sim.Measure(nw)
+	fmt.Printf("%d real nodes simulate %d virtual nodes; %d unmarked, %d ring, %d connection edges\n",
+		m.RealNodes, m.VirtualNodes, m.UnmarkedEdges, m.RingEdges, m.ConnectionEdges)
+}

@@ -1,0 +1,327 @@
+// Package chord implements the classic Chord protocol of Stoica,
+// Morris, Karger, Kaashoek and Balakrishnan (SIGCOMM 2001) as the
+// baseline the paper compares against: successor/predecessor pointers,
+// finger tables, iterative lookup, and the periodic
+// stabilize/notify/fix-fingers maintenance protocol.
+//
+// The package exists for two experiments:
+//
+//   - Fact 2.1: every edge of the correct Chord topology must appear in
+//     the stable Re-Chord network projected onto real nodes.
+//   - Section 1 motivation: Chord's maintenance protocol is NOT
+//     self-stabilizing — from particular weakly connected states (e.g.
+//     two interleaved rings) stabilize/fix-fingers never recovers the
+//     sorted ring, while Re-Chord does.
+package chord
+
+import (
+	"fmt"
+
+	"repro/internal/ident"
+)
+
+// MaxFinger is the deepest finger level, matching Re-Chord's virtual
+// node cap so the two systems span the same distance scales.
+const MaxFinger = ident.MaxLevel
+
+// Node is one Chord peer's routing state.
+type Node struct {
+	id      ident.ID
+	succ    ident.ID
+	pred    ident.ID
+	hasPred bool
+	// fingers[i] (1-based level) is the peer believed to succeed
+	// id + 1/2^i; level 1 is the farthest finger.
+	fingers map[int]ident.ID
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() ident.ID { return n.id }
+
+// Successor returns the node's current successor pointer.
+func (n *Node) Successor() ident.ID { return n.succ }
+
+// Predecessor returns the predecessor pointer, if set.
+func (n *Node) Predecessor() (ident.ID, bool) { return n.pred, n.hasPred }
+
+// Finger returns the finger at the level, if set.
+func (n *Node) Finger(level int) (ident.ID, bool) {
+	f, ok := n.fingers[level]
+	return f, ok
+}
+
+// System is a set of Chord nodes sharing an address space; method
+// calls between nodes model Chord's RPCs.
+type System struct {
+	nodes map[ident.ID]*Node
+	order []ident.ID
+}
+
+// NewSystem creates an empty Chord system.
+func NewSystem() *System {
+	return &System{nodes: make(map[ident.ID]*Node)}
+}
+
+// AddNode inserts a node with explicit successor state. pred may be
+// zero with hasPred false.
+func (s *System) AddNode(id, succ ident.ID) *Node {
+	n := &Node{id: id, succ: succ, fingers: make(map[int]ident.ID)}
+	s.nodes[id] = n
+	i := 0
+	for i < len(s.order) && s.order[i] < id {
+		i++
+	}
+	s.order = append(s.order, 0)
+	copy(s.order[i+1:], s.order[i:])
+	s.order[i] = id
+	return n
+}
+
+// Node returns the node with the identifier, or nil.
+func (s *System) Node(id ident.ID) *Node { return s.nodes[id] }
+
+// IDs returns all node identifiers in increasing order.
+func (s *System) IDs() []ident.ID { return append([]ident.ID(nil), s.order...) }
+
+// BuildCorrect constructs the correct Chord ring over the identifiers:
+// successor and predecessor pointers follow the sorted order and every
+// finger is exact.
+func BuildCorrect(ids []ident.ID) *System {
+	s := NewSystem()
+	sorted := append([]ident.ID(nil), ids...)
+	ident.Sort(sorted)
+	for i, id := range sorted {
+		s.AddNode(id, sorted[(i+1)%len(sorted)])
+	}
+	for i, id := range sorted {
+		n := s.nodes[id]
+		n.pred = sorted[(i+len(sorted)-1)%len(sorted)]
+		n.hasPred = true
+	}
+	s.FixAllFingers()
+	return s
+}
+
+// inHalfOpen reports x in (a, b] on the ring.
+func inHalfOpen(x, a, b ident.ID) bool {
+	return ident.Between(x, a, b) || (x == b && x != a)
+}
+
+// FindSuccessor routes a lookup for key starting at from, returning
+// the responsible node and the number of hops taken (the paper's
+// O(log n) binary-search path of Section 1.1).
+func (s *System) FindSuccessor(from ident.ID, key ident.ID) (ident.ID, int, error) {
+	n, ok := s.nodes[from]
+	if !ok {
+		return 0, 0, fmt.Errorf("chord: unknown start node %s", from)
+	}
+	hops := 0
+	for {
+		if inHalfOpen(key, n.id, n.succ) {
+			return n.succ, hops + 1, nil
+		}
+		next := s.closestPreceding(n, key)
+		if next == n.id {
+			// No finger makes progress; fall back to the successor.
+			next = n.succ
+		}
+		if next == n.id {
+			return 0, hops, fmt.Errorf("chord: lookup for %s stuck at %s", key, n.id)
+		}
+		n = s.nodes[next]
+		if n == nil {
+			return 0, hops, fmt.Errorf("chord: route hit departed node %s", next)
+		}
+		hops++
+		if hops > 4*len(s.nodes)+8 {
+			return 0, hops, fmt.Errorf("chord: lookup for %s did not terminate", key)
+		}
+	}
+}
+
+// closestPreceding returns the finger (or successor) of n that most
+// closely precedes key, Chord's greedy routing step.
+func (s *System) closestPreceding(n *Node, key ident.ID) ident.ID {
+	best := n.id
+	consider := func(c ident.ID) {
+		if _, ok := s.nodes[c]; !ok {
+			return
+		}
+		if ident.Between(c, n.id, key) && (best == n.id || ident.Between(best, n.id, c) || best == n.id) {
+			// c lies strictly between n and key and beyond the current
+			// best: prefer the largest such step.
+			if best == n.id || ident.Dist(n.id, c) > ident.Dist(n.id, best) {
+				best = c
+			}
+		}
+	}
+	for _, f := range n.fingers {
+		consider(f)
+	}
+	consider(n.succ)
+	return best
+}
+
+// Join inserts a new node using the standard protocol: it asks the
+// contact to find its successor and starts with no predecessor and no
+// fingers; maintenance fills in the rest.
+func (s *System) Join(id, contact ident.ID) error {
+	if _, ok := s.nodes[id]; ok {
+		return fmt.Errorf("chord: node %s already present", id)
+	}
+	succ, _, err := s.FindSuccessor(contact, id)
+	if err != nil {
+		return fmt.Errorf("chord: join via %s: %w", contact, err)
+	}
+	s.AddNode(id, succ)
+	return nil
+}
+
+// Stabilize runs one round of Chord's periodic maintenance at every
+// node: verify the successor via its predecessor, notify the
+// successor, and refresh every finger.
+func (s *System) Stabilize() {
+	// All nodes run the protocol against the state at the start of the
+	// round (synchronous model, like the paper's).
+	type update struct {
+		n    *Node
+		succ ident.ID
+	}
+	var succUpdates []update
+	for _, id := range s.order {
+		n := s.nodes[id]
+		succ := s.nodes[n.succ]
+		if succ == nil {
+			continue
+		}
+		if succ.hasPred {
+			x := succ.pred
+			if _, alive := s.nodes[x]; alive && ident.Between(x, n.id, n.succ) {
+				succUpdates = append(succUpdates, update{n, x})
+			}
+		}
+	}
+	for _, u := range succUpdates {
+		u.n.succ = u.succ
+	}
+	// notify: n tells its successor about itself.
+	for _, id := range s.order {
+		n := s.nodes[id]
+		succ := s.nodes[n.succ]
+		if succ == nil || succ == n {
+			continue
+		}
+		if !succ.hasPred {
+			succ.pred, succ.hasPred = n.id, true
+			continue
+		}
+		if _, alive := s.nodes[succ.pred]; !alive || ident.Between(n.id, succ.pred, succ.id) {
+			succ.pred, succ.hasPred = n.id, true
+		}
+	}
+	s.FixAllFingers()
+}
+
+// FixAllFingers refreshes every finger of every node through lookups
+// routed over the current state.
+func (s *System) FixAllFingers() {
+	for _, id := range s.order {
+		n := s.nodes[id]
+		for lvl := 1; lvl <= MaxFinger; lvl++ {
+			target := ident.Sibling(n.id, lvl)
+			// Stop refining once the finger target falls within
+			// (n, successor]: deeper fingers all equal the successor.
+			if inHalfOpen(target, n.id, n.succ) {
+				delete(n.fingers, lvl)
+				continue
+			}
+			f, _, err := s.FindSuccessor(n.id, target)
+			if err != nil {
+				continue
+			}
+			n.fingers[lvl] = f
+		}
+	}
+}
+
+// SuccessorCycle walks successor pointers from the smallest node and
+// returns the distinct nodes visited before the walk repeats. A
+// correct ring visits every node.
+func (s *System) SuccessorCycle() []ident.ID {
+	if len(s.order) == 0 {
+		return nil
+	}
+	var out []ident.ID
+	seen := make(map[ident.ID]bool)
+	cur := s.order[0]
+	for !seen[cur] {
+		seen[cur] = true
+		out = append(out, cur)
+		n := s.nodes[cur]
+		if n == nil {
+			break
+		}
+		cur = n.succ
+	}
+	return out
+}
+
+// IsCorrectRing reports whether every node's successor is its true
+// clockwise neighbor.
+func (s *System) IsCorrectRing() bool {
+	n := len(s.order)
+	if n == 0 {
+		return true
+	}
+	for i, id := range s.order {
+		want := s.order[(i+1)%n]
+		if s.nodes[id].succ != want {
+			return false
+		}
+	}
+	return true
+}
+
+// LoopyStride returns the smallest stride >= 2 that is coprime with n,
+// so that the i -> i+stride successor assignment forms a single cycle
+// winding stride times around the identifier circle.
+func LoopyStride(n int) int {
+	for k := 2; ; k++ {
+		if gcd(k, n) == 1 {
+			return k
+		}
+	}
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Loopy builds the classic "loopy" weakly connected state of
+// Liben-Nowell et al.: every node's successor is its stride-th
+// clockwise neighbor, forming one cycle that winds several times
+// around the identifier circle. Predecessors are consistent with the
+// successors, so stabilize/notify find nothing to fix: the state is a
+// fixed point of Chord's maintenance protocol even though the ring is
+// wrong. Re-Chord recovers from the same state (the motivating
+// example of Section 1).
+func Loopy(ids []ident.ID) *System {
+	s := NewSystem()
+	sorted := append([]ident.ID(nil), ids...)
+	ident.Sort(sorted)
+	n := len(sorted)
+	stride := LoopyStride(n)
+	for i, id := range sorted {
+		s.AddNode(id, sorted[(i+stride)%n])
+	}
+	for i, id := range sorted {
+		nd := s.nodes[id]
+		nd.pred = sorted[(i+n-stride)%n]
+		nd.hasPred = true
+	}
+	s.FixAllFingers()
+	return s
+}

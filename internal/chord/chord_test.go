@@ -1,0 +1,199 @@
+package chord
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ident"
+)
+
+func randomIDs(n int, rng *rand.Rand) []ident.ID {
+	seen := map[ident.ID]bool{}
+	out := make([]ident.ID, 0, n)
+	for len(out) < n {
+		id := ident.ID(rng.Uint64())
+		if id == 0 || seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	return out
+}
+
+func TestBuildCorrectIsCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := BuildCorrect(randomIDs(50, rng))
+	if !s.IsCorrectRing() {
+		t.Fatal("BuildCorrect produced a wrong ring")
+	}
+	if got := len(s.SuccessorCycle()); got != 50 {
+		t.Fatalf("successor cycle covers %d of 50 nodes", got)
+	}
+}
+
+func TestLookupFindsResponsibleNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ids := randomIDs(64, rng)
+	s := BuildCorrect(ids)
+	sorted := append([]ident.ID(nil), ids...)
+	ident.Sort(sorted)
+	for trial := 0; trial < 200; trial++ {
+		key := ident.ID(rng.Uint64())
+		want := ident.Successor(sorted, key)
+		from := ids[rng.Intn(len(ids))]
+		got, hops, err := s.FindSuccessor(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("lookup(%s) = %s, want %s", key, got, want)
+		}
+		if hops < 1 {
+			t.Fatalf("lookup took %d hops", hops)
+		}
+	}
+}
+
+func TestLookupLogarithmicHops(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ids := randomIDs(256, rng)
+	s := BuildCorrect(ids)
+	total := 0
+	const trials = 500
+	for trial := 0; trial < trials; trial++ {
+		from := ids[rng.Intn(len(ids))]
+		_, hops, err := s.FindSuccessor(from, ident.ID(rng.Uint64()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += hops
+	}
+	mean := float64(total) / trials
+	bound := 2 * math.Log2(256)
+	if mean > bound {
+		t.Errorf("mean hops %.2f exceeds 2 log2 n = %.2f", mean, bound)
+	}
+	t.Logf("mean lookup hops over n=256: %.2f (log2 n = 8)", mean)
+}
+
+func TestStabilizeMaintainsCorrectRing(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := BuildCorrect(randomIDs(40, rng))
+	for i := 0; i < 10; i++ {
+		s.Stabilize()
+	}
+	if !s.IsCorrectRing() {
+		t.Fatal("stabilize broke a correct ring")
+	}
+}
+
+func TestJoinIntegratesViaStabilize(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ids := randomIDs(30, rng)
+	s := BuildCorrect(ids)
+	for k := 0; k < 5; k++ {
+		id := ident.ID(rng.Uint64() | 1)
+		if err := s.Join(id, ids[rng.Intn(len(ids))]); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			s.Stabilize()
+		}
+	}
+	if !s.IsCorrectRing() {
+		t.Fatal("ring incorrect after joins plus stabilization")
+	}
+	if got, want := len(s.SuccessorCycle()), 35; got != want {
+		t.Fatalf("cycle covers %d, want %d", got, want)
+	}
+}
+
+// TestChordIsNotSelfStabilizing is the motivating experiment: from a
+// loopy state — a weakly connected successor cycle winding twice
+// around the identifier circle — Chord's maintenance protocol never
+// recovers the sorted ring (Re-Chord does; see internal/experiments).
+func TestChordIsNotSelfStabilizing(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ids := randomIDs(25, rng)
+	s := Loopy(ids)
+	if s.IsCorrectRing() {
+		t.Fatal("test setup: loopy state starts correct?")
+	}
+	if got := len(s.SuccessorCycle()); got != 25 {
+		t.Fatalf("loopy construction: cycle covers %d, want 25 (single winding cycle)", got)
+	}
+	before := make(map[ident.ID]ident.ID)
+	for _, id := range s.IDs() {
+		before[id] = s.Node(id).Successor()
+	}
+	for i := 0; i < 200; i++ {
+		s.Stabilize()
+	}
+	if s.IsCorrectRing() {
+		t.Fatal("Chord unexpectedly self-stabilized from the loopy state")
+	}
+	for _, id := range s.IDs() {
+		if s.Node(id).Successor() != before[id] {
+			t.Fatalf("node %s changed successor: loopy state should be a maintenance fixed point", id)
+		}
+	}
+}
+
+func TestLoopyStride(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{25, 2}, {24, 5}, {9, 2}, {10, 3}, {7, 2},
+	} {
+		if got := LoopyStride(tc.n); got != tc.want {
+			t.Errorf("LoopyStride(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestFindSuccessorErrors(t *testing.T) {
+	s := NewSystem()
+	if _, _, err := s.FindSuccessor(ident.ID(1), ident.ID(2)); err == nil {
+		t.Error("lookup from unknown node must error")
+	}
+	// Single node pointing at itself resolves everything to itself.
+	s.AddNode(ident.ID(10), ident.ID(10))
+	got, _, err := s.FindSuccessor(ident.ID(10), ident.ID(99))
+	if err != nil || got != ident.ID(10) {
+		t.Errorf("single-node lookup = %v, %v; want self, nil", got, err)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ids := randomIDs(5, rng)
+	s := BuildCorrect(ids)
+	if err := s.Join(ids[0], ids[1]); err == nil {
+		t.Error("joining an existing id must error")
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ids := randomIDs(8, rng)
+	s := BuildCorrect(ids)
+	n := s.Node(ids[0])
+	if n == nil || n.ID() != ids[0] {
+		t.Fatal("Node accessor broken")
+	}
+	if _, ok := n.Predecessor(); !ok {
+		t.Error("correct ring must have predecessors set")
+	}
+	if n.Successor() == n.ID() {
+		t.Error("successor of a multi-node ring must differ from self")
+	}
+	foundFinger := false
+	for lvl := 1; lvl <= MaxFinger; lvl++ {
+		if _, ok := n.Finger(lvl); ok {
+			foundFinger = true
+		}
+	}
+	if !foundFinger {
+		t.Error("correct ring with 8 nodes must have at least one finger")
+	}
+}

@@ -1,0 +1,129 @@
+// Package churn drives join/leave/failure workloads against stable
+// Re-Chord networks and measures recovery, reproducing the claims of
+// Section 4: isolated joins re-stabilize in O(log^2 n) rounds
+// (Theorem 4.1) and leaves/failures in O(log n) rounds (Theorem 4.2).
+package churn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ident"
+	"repro/internal/rechord"
+	"repro/internal/sim"
+	"repro/internal/topogen"
+)
+
+// Event is one membership change.
+type Event struct {
+	// Kind is "join", "leave" or "fail".
+	Kind string
+	// ID is the peer joining or departing.
+	ID ident.ID
+	// Contact is the peer a joiner connects to (unused otherwise).
+	Contact ident.ID
+}
+
+// Recovery reports how a single event was absorbed.
+type Recovery struct {
+	Event  Event
+	Rounds int // rounds until the network reached the new stable state
+	Stable bool
+}
+
+// StableNetwork builds a network of n random peers already in the
+// stable state (seeded from the oracle and verified by one fixed-point
+// check).
+func StableNetwork(n int, rng *rand.Rand, cfg rechord.Config) (*rechord.Network, []ident.ID, error) {
+	ids := topogen.RandomIDs(n, rng)
+	nw := topogen.PreStabilized().Build(ids, rng, cfg)
+	// Let the seeded state settle into the true fixed point (the seed
+	// lacks the steady-state message flow).
+	res, err := sim.RunToStable(nw, sim.Options{MaxRounds: sim.DefaultMaxRounds(n)})
+	if err != nil {
+		return nil, nil, err
+	}
+	_ = res
+	if err := rechord.ComputeIdeal(ids).Matches(nw); err != nil {
+		return nil, nil, fmt.Errorf("churn: seeded network not in stable state: %w", err)
+	}
+	return nw, ids, nil
+}
+
+// Apply executes one event and runs the network to the next fixed
+// point, returning the recovery cost.
+func Apply(nw *rechord.Network, ev Event, maxRounds int) (Recovery, error) {
+	switch ev.Kind {
+	case "join":
+		if err := nw.Join(ev.ID, ev.Contact); err != nil {
+			return Recovery{}, err
+		}
+	case "leave":
+		if err := nw.Leave(ev.ID); err != nil {
+			return Recovery{}, err
+		}
+	case "fail":
+		if err := nw.Fail(ev.ID); err != nil {
+			return Recovery{}, err
+		}
+	default:
+		return Recovery{}, fmt.Errorf("churn: unknown event kind %q", ev.Kind)
+	}
+	if maxRounds <= 0 {
+		maxRounds = sim.DefaultMaxRounds(nw.NumPeers())
+	}
+	res := sim.Run(nw, sim.Options{MaxRounds: maxRounds})
+	return Recovery{Event: ev, Rounds: res.Rounds, Stable: res.Stable}, nil
+}
+
+// VerifyStable checks that the network sits in the exact stable state
+// for its current membership.
+func VerifyStable(nw *rechord.Network) error {
+	return rechord.ComputeIdeal(nw.Peers()).Matches(nw)
+}
+
+// RunSequence applies a series of events, verifying convergence to the
+// correct stable state after each one.
+func RunSequence(nw *rechord.Network, events []Event, maxRounds int) ([]Recovery, error) {
+	out := make([]Recovery, 0, len(events))
+	for _, ev := range events {
+		rec, err := Apply(nw, ev, maxRounds)
+		if err != nil {
+			return out, err
+		}
+		if !rec.Stable {
+			return out, fmt.Errorf("churn: network did not re-stabilize after %v", ev)
+		}
+		if err := VerifyStable(nw); err != nil {
+			return out, fmt.Errorf("churn: wrong state after %v: %w", ev, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// RandomEvents generates a mixed workload over the current membership:
+// joins of fresh ids and leaves/failures of random existing peers,
+// never emptying the network below two peers.
+func RandomEvents(nw *rechord.Network, count int, rng *rand.Rand) []Event {
+	existing := append([]ident.ID(nil), nw.Peers()...)
+	var out []Event
+	for i := 0; i < count; i++ {
+		switch {
+		case len(existing) < 3 || rng.Intn(2) == 0:
+			id := ident.ID(rng.Uint64() | 1)
+			contact := existing[rng.Intn(len(existing))]
+			out = append(out, Event{Kind: "join", ID: id, Contact: contact})
+			existing = append(existing, id)
+		default:
+			j := rng.Intn(len(existing))
+			kind := "leave"
+			if rng.Intn(2) == 0 {
+				kind = "fail"
+			}
+			out = append(out, Event{Kind: kind, ID: existing[j]})
+			existing = append(existing[:j], existing[j+1:]...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package dht
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/churn"
+	"repro/internal/ident"
+	"repro/internal/rechord"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nw, ids, err := churn.StableNetwork(20, rng, rechord.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(nw)
+	home := ids[0]
+	if _, _, err := s.Put(home, "alpha", "1"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get(ids[7], "alpha")
+	if err != nil || !ok || v != "1" {
+		t.Fatalf("Get = %q,%v,%v; want 1,true,nil", v, ok, err)
+	}
+	ok, err = s.Delete(ids[3], "alpha")
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v,%v; want true,nil", ok, err)
+	}
+	if _, ok, _ := s.Get(home, "alpha"); ok {
+		t.Error("deleted key still present")
+	}
+	if ok, _ := s.Delete(home, "alpha"); ok {
+		t.Error("double delete reported true")
+	}
+}
+
+func TestOwnerConsistentAcrossHomes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	nw, ids, err := churn.StableNetwork(30, rng, rechord.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(nw)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owner1, _, err := s.Put(ids[rng.Intn(len(ids))], key, "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner2, _, err := s.Put(ids[rng.Intn(len(ids))], key, "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner1 != owner2 {
+			t.Fatalf("key %q routed to %s and %s from different homes", key, owner1, owner2)
+		}
+		want := ident.Successor(nw.Peers(), KeyID(key))
+		if owner1 != want {
+			t.Fatalf("key %q owned by %s, want consistent-hashing successor %s", key, owner1, want)
+		}
+	}
+}
+
+func TestLoadSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nw, ids, err := churn.StableNetwork(16, rng, rechord.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(nw)
+	const keys = 800
+	for i := 0; i < keys; i++ {
+		if _, _, err := s.Put(ids[i%len(ids)], fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != keys {
+		t.Fatalf("Len = %d, want %d", s.Len(), keys)
+	}
+	sizes := s.BucketSizes()
+	max := 0
+	for _, n := range sizes {
+		if n > max {
+			max = n
+		}
+	}
+	// Consistent hashing with random ids is uneven but the max bucket
+	// must stay well below the whole keyspace.
+	if max > keys/2 {
+		t.Errorf("max bucket %d of %d keys: hashing badly skewed", max, keys)
+	}
+}
+
+func TestRebalanceAfterJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	nw, ids, err := churn.StableNetwork(10, rng, rechord.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(nw)
+	for i := 0; i < 200; i++ {
+		if _, _, err := s.Put(ids[0], fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A new peer joins and the network re-stabilizes.
+	rec, err := churn.Apply(nw, churn.Event{Kind: "join", ID: ident.ID(rng.Uint64() | 1), Contact: ids[0]}, 0)
+	if err != nil || !rec.Stable {
+		t.Fatalf("join failed: %v (stable=%v)", err, rec.Stable)
+	}
+	moved, err := s.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("rebalance moved %d of 200 keys", moved)
+	// After rebalancing, every key must be retrievable from any home.
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i)
+		v, ok, err := s.Get(nw.Peers()[i%nw.NumPeers()], key)
+		if err != nil || !ok || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%q) = %q,%v,%v after rebalance", key, v, ok, err)
+		}
+	}
+}
+
+func TestRebalanceEmptyNetworkErrors(t *testing.T) {
+	s := New(rechord.NewNetwork(rechord.Config{}))
+	if _, err := s.Rebalance(); err == nil {
+		t.Error("rebalance on empty network must error")
+	}
+}

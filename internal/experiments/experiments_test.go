@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkResult(t *testing.T, r *Result, err error, wantCols ...string) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Table == nil || len(r.Table.Rows) == 0 {
+		t.Fatalf("%s: empty table", r.Name)
+	}
+	var b strings.Builder
+	if err := r.Table.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, c := range wantCols {
+		if !strings.Contains(out, c) {
+			t.Errorf("%s: table missing column %q:\n%s", r.Name, c, out)
+		}
+	}
+	t.Logf("%s:\n%s", r.Name, out)
+	for name, f := range r.Fits {
+		t.Logf("%s fit: %s ~ %.3f * %s (R2 %.3f)", r.Name, name, f.C, f.Shape.Name, f.R2)
+	}
+	for _, n := range r.Notes {
+		t.Logf("note: %s", n)
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	r, err := Fig5(Quick())
+	checkResult(t, r, err, "normal_edges", "connection_edges", "virtual_nodes")
+}
+
+func TestFig6Quick(t *testing.T) {
+	r, err := Fig6(Quick())
+	checkResult(t, r, err, "rounds_stable", "rounds_almost_stable")
+}
+
+func TestFig7Quick(t *testing.T) {
+	r, err := Fig7(Quick())
+	checkResult(t, r, err, "total_nodes", "total_edges")
+	if len(r.Table.Rows) != len(Quick().Sizes)*Quick().Reps {
+		t.Errorf("fig7 rows = %d, want one per run", len(r.Table.Rows))
+	}
+}
+
+func TestConvergenceQuick(t *testing.T) {
+	cfg := Quick()
+	cfg.Reps = 2
+	r, err := Convergence(cfg)
+	checkResult(t, r, err, "random", "clique", "garbage")
+}
+
+func TestJoinLeaveFailQuick(t *testing.T) {
+	cfg := Quick()
+	cfg.Reps = 2
+	for _, fn := range []func(Config) (*Result, error){Join, Leave, Fail} {
+		r, err := fn(cfg)
+		checkResult(t, r, err, "recovery_rounds_mean")
+	}
+}
+
+func TestFact21Quick(t *testing.T) {
+	r, err := Fact21(Quick())
+	checkResult(t, r, err, "direct_in_rechord", "wrap_reachable")
+	for _, row := range r.Table.Rows {
+		if row[4] != "true" {
+			t.Errorf("Fact 2.1 wrap edges not reachable: %v", row)
+		}
+	}
+}
+
+func TestChordFailQuick(t *testing.T) {
+	cfg := Quick()
+	cfg.Sizes = []int{9, 13}
+	r, err := ChordFail(cfg)
+	checkResult(t, r, err, "chord_recovered", "rechord_recovered")
+	for _, row := range r.Table.Rows {
+		if row[3] != "false" || row[5] != "true" {
+			t.Errorf("chordfail row unexpected: %v", row)
+		}
+	}
+}
+
+func TestBudgetQuick(t *testing.T) {
+	r, err := Budget(Quick())
+	checkResult(t, r, err, "within_bound")
+}
+
+func TestLookupQuick(t *testing.T) {
+	r, err := Lookup(Quick())
+	checkResult(t, r, err, "mean_hops")
+}
+
+func TestAblationQuick(t *testing.T) {
+	cfg := Quick()
+	cfg.Sizes = []int{15}
+	r, err := Ablation(cfg)
+	checkResult(t, r, err, "variant", "matches_ideal")
+	sawFullOK, sawNoRingBad := false, false
+	for _, row := range r.Table.Rows {
+		if row[1] == "full" && row[4] == "true" {
+			sawFullOK = true
+		}
+		if row[1] == "no-ring" && row[4] == "false" {
+			sawNoRingBad = true
+		}
+	}
+	if !sawFullOK {
+		t.Error("full variant should match ideal")
+	}
+	if !sawNoRingBad {
+		t.Error("no-ring variant should not match ideal")
+	}
+}
+
+func TestMessagesQuick(t *testing.T) {
+	r, err := Messages(Quick())
+	checkResult(t, r, err, "total_messages", "messages_per_round")
+}
+
+func TestHealingQuick(t *testing.T) {
+	r, err := Healing(Quick())
+	checkResult(t, r, err, "round_100pct", "almost_stable")
+	for _, row := range r.Table.Rows {
+		if row[1] == "-1" {
+			t.Errorf("healing never reached 50%% routability: %v", row)
+		}
+	}
+}

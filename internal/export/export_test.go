@@ -1,0 +1,73 @@
+package export
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tab := NewTable("Fig X", "n", "rounds", "note")
+	tab.AddRow(5, 12.345, "ok")
+	tab.AddRow(105, 30.0, "longer-cell-content")
+	var b strings.Builder
+	if err := tab.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Fig X", "n", "rounds", "12.35", "longer-cell-content", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + header + sep + 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow(1, 2)
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "a,b\n1,2\n" {
+		t.Errorf("CSV = %q", got)
+	}
+}
+
+func TestPlot(t *testing.T) {
+	var b strings.Builder
+	err := Plot(&b, "rounds vs n", 40, 10,
+		Series{Name: "stable", X: []float64{5, 50, 105}, Y: []float64{10, 20, 30}, Marker: 'o'},
+		Series{Name: "almost", X: []float64{5, 50, 105}, Y: []float64{5, 12, 16}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"rounds vs n", "o=stable", "*=almost", "o", "*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := Plot(&b, "empty", 20, 8); err == nil {
+		t.Error("plotting no data must error")
+	}
+}
+
+func TestPlotDegenerateRanges(t *testing.T) {
+	var b strings.Builder
+	err := Plot(&b, "flat", 20, 8, Series{Name: "s", X: []float64{1, 1}, Y: []float64{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "flat") {
+		t.Error("degenerate plot missing title")
+	}
+}

@@ -1,0 +1,148 @@
+package rechord
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// AsyncRunner executes the protocol under an asynchronous adversary,
+// one step beyond the paper's synchronous model (its conclusion asks
+// whether the approach extends; Clouser et al. treat linearization
+// asynchronously). Per step, each peer is activated independently with
+// probability ActivationProb — idle peers neither read nor send — and
+// every message is delivered after a random delay of 1..MaxDelay
+// steps. Rule guards read whatever the other peers' published state
+// happens to be at activation time, so all the staleness the
+// synchronous model forbids is exercised here.
+//
+// Fairness (every peer activated infinitely often, every message
+// eventually delivered) is guaranteed in expectation for any
+// ActivationProb > 0 and finite MaxDelay, which is the standard
+// premise for asynchronous self-stabilization.
+type AsyncRunner struct {
+	nw  *Network
+	cfg AsyncConfig
+	rng *rand.Rand
+
+	pending []delayedMessage
+	step    int
+}
+
+// AsyncConfig parameterizes the adversary.
+type AsyncConfig struct {
+	// ActivationProb is the per-step probability that a peer executes
+	// its rules. 1 with MaxDelay 1 degenerates to the synchronous
+	// model.
+	ActivationProb float64
+	// MaxDelay is the maximum message delay in steps (minimum 1).
+	MaxDelay int
+}
+
+type delayedMessage struct {
+	msg     Message
+	readyAt int
+}
+
+// NewAsyncRunner wraps a network for asynchronous execution. The
+// network must not be stepped synchronously while the runner is used.
+func NewAsyncRunner(nw *Network, cfg AsyncConfig, rng *rand.Rand) *AsyncRunner {
+	if cfg.ActivationProb <= 0 || cfg.ActivationProb > 1 {
+		cfg.ActivationProb = 0.5
+	}
+	if cfg.MaxDelay < 1 {
+		cfg.MaxDelay = 1
+	}
+	return &AsyncRunner{nw: nw, cfg: cfg, rng: rng}
+}
+
+// Network returns the wrapped network.
+func (a *AsyncRunner) Network() *Network { return a.nw }
+
+// Steps returns the number of asynchronous steps executed.
+func (a *AsyncRunner) Steps() int { return a.step }
+
+// Step executes one asynchronous step: deliver due messages, activate
+// a random peer subset, collect their output with fresh random delays.
+// It returns the number of peers activated.
+func (a *AsyncRunner) Step() int {
+	a.step++
+	nw := a.nw
+
+	// Deliver messages whose delay expired into the peers' inboxes.
+	keep := a.pending[:0]
+	for _, dm := range a.pending {
+		if dm.readyAt > a.step {
+			keep = append(keep, dm)
+			continue
+		}
+		if dst, ok := nw.nodes[dm.msg.To.Owner]; ok {
+			dst.inbox = append(dst.inbox, dm.msg)
+		}
+	}
+	a.pending = keep
+
+	nw.snapshotLevels()
+	view := nw.buildView()
+	activated := 0
+	for _, id := range nw.order {
+		if a.rng.Float64() >= a.cfg.ActivationProb {
+			continue
+		}
+		activated++
+		n := nw.nodes[id]
+		nw.deliver(n)
+		nw.purge(n)
+		res := nw.runRules(n, view)
+		n.lastOut = res.out
+		for _, msg := range res.out {
+			a.pending = append(a.pending, delayedMessage{
+				msg:     msg,
+				readyAt: a.step + 1 + a.rng.Intn(a.cfg.MaxDelay),
+			})
+		}
+	}
+	nw.round++
+	return activated
+}
+
+// RunUntilLegal executes steps until the network state matches the
+// ideal stable topology for its current peers (checked every `every`
+// steps), or the step budget runs out. It reports the steps taken and
+// whether the legal state was reached.
+func (a *AsyncRunner) RunUntilLegal(idl *Ideal, maxSteps, every int) (int, bool) {
+	if every < 1 {
+		every = 1
+	}
+	for s := 0; s < maxSteps; s++ {
+		a.Step()
+		if s%every == 0 && idl.Matches(a.nw) == nil {
+			return a.step, true
+		}
+	}
+	return a.step, idl.Matches(a.nw) == nil
+}
+
+// PendingMessages returns the number of messages currently in flight.
+func (a *AsyncRunner) PendingMessages() int {
+	n := len(a.pending)
+	for _, node := range a.nw.nodes {
+		n += len(node.inbox)
+	}
+	return n
+}
+
+// PendingByKind breaks the in-flight messages down by edge kind, for
+// the async experiments.
+func (a *AsyncRunner) PendingByKind() map[graph.Kind]int {
+	out := map[graph.Kind]int{}
+	for _, dm := range a.pending {
+		out[dm.msg.Kind]++
+	}
+	for _, node := range a.nw.nodes {
+		for _, msg := range node.inbox {
+			out[msg.Kind]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package rechord_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rechord"
+	"repro/internal/sim"
+	"repro/internal/topogen"
+)
+
+// TestAsyncConvergesFromRandomStates: under random activation and
+// message delays, the network still reaches the legal topology from
+// weakly connected initial states.
+func TestAsyncConvergesFromRandomStates(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  rechord.AsyncConfig
+	}{
+		{"half-activation", rechord.AsyncConfig{ActivationProb: 0.5, MaxDelay: 1}},
+		{"delayed-messages", rechord.AsyncConfig{ActivationProb: 1.0, MaxDelay: 4}},
+		{"slow-and-delayed", rechord.AsyncConfig{ActivationProb: 0.3, MaxDelay: 3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(91))
+			ids := topogen.RandomIDs(16, rng)
+			nw := topogen.Random().Build(ids, rng, rechord.Config{Workers: 1})
+			runner := rechord.NewAsyncRunner(nw, tc.cfg, rng)
+			idl := rechord.ComputeIdeal(ids)
+			steps, ok := runner.RunUntilLegal(idl, 20*sim.DefaultMaxRounds(len(ids)), 4)
+			if !ok {
+				t.Fatalf("async run did not reach the legal state in %d steps", steps)
+			}
+			t.Logf("legal state after %d async steps (%d pending msgs)", steps, runner.PendingMessages())
+		})
+	}
+}
+
+// TestAsyncDegeneratesToSynchronous: activation 1.0 with delay 1
+// follows the synchronous schedule, so it must converge in a
+// comparable number of steps.
+func TestAsyncDegeneratesToSynchronous(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	ids := topogen.RandomIDs(12, rng)
+
+	syncNW := topogen.Line().Build(ids, rand.New(rand.NewSource(93)), rechord.Config{Workers: 1})
+	res, err := sim.RunToStable(syncNW, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	asyncNW := topogen.Line().Build(ids, rand.New(rand.NewSource(93)), rechord.Config{Workers: 1})
+	runner := rechord.NewAsyncRunner(asyncNW, rechord.AsyncConfig{ActivationProb: 1.0, MaxDelay: 1}, rng)
+	steps, ok := runner.RunUntilLegal(rechord.ComputeIdeal(ids), 10*sim.DefaultMaxRounds(len(ids)), 1)
+	if !ok {
+		t.Fatal("degenerate async did not converge")
+	}
+	if steps > 4*res.Rounds+16 {
+		t.Errorf("degenerate async took %d steps vs %d synchronous rounds", steps, res.Rounds)
+	}
+}
+
+// TestAsyncChurn: a join and a failure under asynchronous execution
+// still land in the legal state for the surviving peers.
+func TestAsyncChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	ids := topogen.RandomIDs(10, rng)
+	nw := topogen.PreStabilized().Build(ids, rng, rechord.Config{Workers: 1})
+	runner := rechord.NewAsyncRunner(nw, rechord.AsyncConfig{ActivationProb: 0.6, MaxDelay: 2}, rng)
+	if _, ok := runner.RunUntilLegal(rechord.ComputeIdeal(ids), 4000, 4); !ok {
+		t.Fatal("async settling failed")
+	}
+	joiner := topogen.RandomIDs(1, rng)[0]
+	if err := nw.Join(joiner, ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Fail(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if steps, ok := runner.RunUntilLegal(rechord.ComputeIdeal(nw.Peers()), 8000, 4); !ok {
+		t.Fatalf("async churn did not restabilize in %d steps", steps)
+	}
+}
+
+func TestAsyncConfigDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	nw := rechord.NewNetwork(rechord.Config{})
+	nw.AddPeer(1)
+	runner := rechord.NewAsyncRunner(nw, rechord.AsyncConfig{ActivationProb: -1, MaxDelay: 0}, rng)
+	// Defaults applied; stepping must not panic and must count.
+	runner.Step()
+	if runner.Steps() != 1 {
+		t.Errorf("Steps = %d, want 1", runner.Steps())
+	}
+	if runner.PendingMessages() < 0 {
+		t.Error("PendingMessages negative")
+	}
+	_ = runner.PendingByKind()
+	if runner.Network() != nw {
+		t.Error("Network accessor broken")
+	}
+}

@@ -1,0 +1,98 @@
+package rechord
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ident"
+	"repro/internal/ref"
+)
+
+// Join inserts a new peer that initially knows exactly one existing
+// peer (Section 4.1: "a peer connects to one peer in the network").
+// The network integrates it within O(log^2 n) rounds from a stable
+// state (Theorem 4.1).
+func (nw *Network) Join(id ident.ID, contact ident.ID) error {
+	if _, ok := nw.nodes[id]; ok {
+		return fmt.Errorf("rechord: join: peer %s already present", id)
+	}
+	if _, ok := nw.nodes[contact]; !ok {
+		return fmt.Errorf("rechord: join: contact %s not in network", contact)
+	}
+	nw.AddPeer(id)
+	nw.SeedEdge(ref.Real(id), ref.Real(contact), graph.Unmarked)
+	return nil
+}
+
+// Leave removes a peer gracefully (Section 4.2): before departing,
+// each of its virtual nodes introduces its unmarked neighbors to one
+// another, so the sorted order survives without the departed node, and
+// the closest-real knowledge is handed over too. The introductions are
+// delivered as ordinary next-round messages.
+func (nw *Network) Leave(id ident.ID) error {
+	n, ok := nw.nodes[id]
+	if !ok {
+		return fmt.Errorf("rechord: leave: peer %s not in network", id)
+	}
+	for _, v := range n.vnodes {
+		// Everything this virtual node can introduce: its unmarked
+		// neighbors plus closest reals, excluding its own siblings
+		// (they depart too).
+		var know ref.Set
+		know.AddAll(v.Nu)
+		if v.HasRL {
+			know.Add(v.RL)
+		}
+		if v.HasRR {
+			know.Add(v.RR)
+		}
+		know.RemoveIf(func(r ref.Ref) bool { return r.Owner == id })
+		peers := know.Slice()
+		for _, a := range peers {
+			for _, b := range peers {
+				if a != b {
+					nw.routeMessage(Message{To: a, Kind: graph.Unmarked, Add: b})
+				}
+			}
+		}
+		// Ring and connection edges it held are handed to a neighbor
+		// rather than silently dropped.
+		for _, w := range v.Nr.Slice() {
+			if w.Owner == id {
+				continue
+			}
+			for _, a := range peers {
+				if a != w {
+					nw.routeMessage(Message{To: a, Kind: graph.Ring, Add: w})
+					break
+				}
+			}
+		}
+	}
+	nw.removePeer(id)
+	return nil
+}
+
+// Fail removes a peer abruptly: no goodbyes, its edges dangle until
+// the failure detector purges them (Section 4.2's fault case).
+func (nw *Network) Fail(id ident.ID) error {
+	if _, ok := nw.nodes[id]; !ok {
+		return fmt.Errorf("rechord: fail: peer %s not in network", id)
+	}
+	nw.removePeer(id)
+	return nil
+}
+
+func (nw *Network) removePeer(id ident.ID) {
+	delete(nw.nodes, id)
+	nw.removeOrder(id)
+	delete(nw.levelOf, id)
+}
+
+// routeMessage enqueues a message directly (used by graceful leave,
+// whose goodbyes are delivered like any other delayed assignment).
+func (nw *Network) routeMessage(msg Message) {
+	if dst, ok := nw.nodes[msg.To.Owner]; ok {
+		dst.inbox = append(dst.inbox, msg)
+	}
+}

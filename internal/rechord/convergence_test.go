@@ -1,0 +1,31 @@
+package rechord_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rechord"
+	"repro/internal/sim"
+	"repro/internal/topogen"
+)
+
+// TestConvergenceSmall is the core integration test: from the paper's
+// random weakly connected initialization the network must reach the
+// exact stable Re-Chord topology.
+func TestConvergenceSmall(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 12} {
+		rng := rand.New(rand.NewSource(int64(100 + n)))
+		ids := topogen.RandomIDs(n, rng)
+		nw := topogen.Random().Build(ids, rng, rechord.Config{Workers: 1})
+		idl := rechord.ComputeIdeal(ids)
+		res, err := sim.RunToStable(nw, sim.Options{Ideal: idl})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := idl.Matches(nw); err != nil {
+			t.Errorf("n=%d: converged to wrong state: %v", n, err)
+		}
+		t.Logf("n=%d: stable after %d rounds (almost stable %d), %d msgs",
+			n, res.Rounds, res.AlmostStableRound, res.TotalMessages)
+	}
+}

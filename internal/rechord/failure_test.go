@@ -1,0 +1,129 @@
+package rechord_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rechord"
+	"repro/internal/sim"
+	"repro/internal/topogen"
+)
+
+// TestMultipleSimultaneousFailures: several peers crash in the same
+// round of a stable network; the survivors must reconverge to their
+// exact stable topology as long as they remain weakly connected.
+func TestMultipleSimultaneousFailures(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		rng := rand.New(rand.NewSource(int64(200 + trial)))
+		ids := topogen.RandomIDs(24, rng)
+		nw := topogen.PreStabilized().Build(ids, rng, rechord.Config{})
+		if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		// Crash 4 random peers at once.
+		perm := rng.Perm(len(ids))
+		for _, i := range perm[:4] {
+			if err := nw.Fail(ids[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !nw.Graph().RealWeaklyConnected() {
+			// The stable topology is far denser than a ring; in these
+			// trials 4 of 24 failures must not disconnect it.
+			t.Fatalf("trial %d: survivors disconnected (unlucky cut)", trial)
+		}
+		if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := rechord.ComputeIdeal(nw.Peers()).Matches(nw); err != nil {
+			t.Fatalf("trial %d: wrong state after mass failure: %v", trial, err)
+		}
+	}
+}
+
+// TestFailuresDuringConvergence injects crashes at random rounds while
+// the network is still stabilizing from a garbage state.
+func TestFailuresDuringConvergence(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		rng := rand.New(rand.NewSource(int64(300 + trial)))
+		ids := topogen.RandomIDs(20, rng)
+		nw := topogen.Garbage().Build(ids, rng, rechord.Config{})
+		// Let it run a random prefix, then crash a peer, three times.
+		for k := 0; k < 3; k++ {
+			for r := 0; r < 2+rng.Intn(4); r++ {
+				nw.Step()
+			}
+			peers := nw.Peers()
+			if err := nw.Fail(peers[rng.Intn(len(peers))]); err != nil {
+				t.Fatal(err)
+			}
+			if !nw.Graph().RealWeaklyConnected() {
+				t.Skipf("trial %d: failure cut the still-converging graph; premise void", trial)
+			}
+		}
+		if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := rechord.ComputeIdeal(nw.Peers()).Matches(nw); err != nil {
+			t.Fatalf("trial %d: wrong state: %v", trial, err)
+		}
+	}
+}
+
+// TestJoinStormThenStable: many peers join a small stable core in the
+// same round (beyond the paper's isolated-join analysis) and the
+// network still converges to the enlarged stable topology.
+func TestJoinStormThenStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(400))
+	ids := topogen.RandomIDs(6, rng)
+	nw := topogen.PreStabilized().Build(ids, rng, rechord.Config{})
+	if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	joiners := topogen.RandomIDs(12, rng)
+	for _, j := range joiners {
+		if err := nw.Join(j, ids[rng.Intn(len(ids))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumPeers() != 18 {
+		t.Fatalf("NumPeers = %d, want 18", nw.NumPeers())
+	}
+	if err := rechord.ComputeIdeal(nw.Peers()).Matches(nw); err != nil {
+		t.Fatalf("wrong state after join storm: %v", err)
+	}
+}
+
+// TestShrinkToOnePeer drains the network down to a single peer through
+// alternating leaves and failures; every intermediate state must
+// reconverge.
+func TestShrinkToOnePeer(t *testing.T) {
+	rng := rand.New(rand.NewSource(500))
+	ids := topogen.RandomIDs(8, rng)
+	nw := topogen.PreStabilized().Build(ids, rng, rechord.Config{})
+	if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for nw.NumPeers() > 1 {
+		peers := nw.Peers()
+		victim := peers[rng.Intn(len(peers))]
+		var err error
+		if rng.Intn(2) == 0 {
+			err = nw.Leave(victim)
+		} else {
+			err = nw.Fail(victim)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+			t.Fatalf("at %d peers: %v", nw.NumPeers(), err)
+		}
+		if err := rechord.ComputeIdeal(nw.Peers()).Matches(nw); err != nil {
+			t.Fatalf("at %d peers: %v", nw.NumPeers(), err)
+		}
+	}
+}

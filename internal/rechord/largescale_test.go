@@ -1,0 +1,39 @@
+package rechord_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rechord"
+	"repro/internal/sim"
+	"repro/internal/topogen"
+)
+
+// TestBeyondPaperScale extends the evaluation beyond the paper's
+// n = 105 ceiling: the network must still converge to the exact
+// oracle topology, and rounds-to-almost-stable must stay sublinear
+// (comfortably below n/2).
+func TestBeyondPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale sweep skipped with -short")
+	}
+	for _, n := range []int{155, 205} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		ids := topogen.RandomIDs(n, rng)
+		nw := topogen.Random().Build(ids, rng, rechord.Config{})
+		idl := rechord.ComputeIdeal(ids)
+		res, err := sim.RunToStable(nw, sim.Options{Ideal: idl})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := idl.Matches(nw); err != nil {
+			t.Fatalf("n=%d: wrong state: %v", n, err)
+		}
+		if res.AlmostStableRound > n/2 {
+			t.Errorf("n=%d: almost-stable after %d rounds, want sublinear (< n/2)",
+				n, res.AlmostStableRound)
+		}
+		t.Logf("n=%d: stable %d rounds, almost stable %d, %d msgs",
+			n, res.Rounds, res.AlmostStableRound, res.TotalMessages)
+	}
+}

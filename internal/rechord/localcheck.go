@@ -1,0 +1,71 @@
+package rechord
+
+import "repro/internal/ident"
+
+// The paper's central structural insight is that Re-Chord, unlike
+// Chord, is locally checkable: "the self-stabilization mechanism is
+// purely local in that a node only has to inspect its local state"
+// (Section 1.3). This file makes that concrete: LocallyStable asks a
+// single peer whether replaying its own round — delivering its pending
+// messages and running rules 1-6 on a copy — reproduces its current
+// state and last output. The conjunction of this purely per-peer
+// predicate over all peers is exactly global stability (proved as a
+// test invariant in localcheck_test.go): if every peer's state and
+// outgoing messages repeat, every inbox repeats, so the global state
+// repeats; and since the rules are deterministic, a global fixed point
+// makes every local replay a no-op.
+
+// LocallyStable reports whether the peer is at a local fixed point:
+// delivering its pending messages and executing the rules would leave
+// its own state unchanged and regenerate exactly the messages it sent
+// in the previous round. It inspects only the peer's own state (plus
+// the published rl/rr view that rule 3's guards read in the
+// state-reading model). Peers unknown to the network report false.
+func (nw *Network) LocallyStable(id ident.ID) bool {
+	n, ok := nw.nodes[id]
+	if !ok {
+		return false
+	}
+	clone := n.clone()
+	nw.snapshotLevels()
+	nw.deliver(clone)
+	nw.purge(clone)
+	res := nw.runRules(clone, nw.buildView())
+
+	// The replayed state must match the current one (the pending
+	// inbox is part of the state; after a no-op round the peer's sets
+	// must look exactly as they do now).
+	stripped := n.clone()
+	stripped.inbox = nil
+	clone.inbox = nil
+	if !clone.equal(stripped) {
+		return false
+	}
+	// The regenerated output must match what the peer actually sent
+	// last round; otherwise neighbors would observe different inboxes
+	// next round.
+	if len(res.out) != len(n.lastOut) {
+		return false
+	}
+	a := sortedMessages(res.out)
+	b := sortedMessages(n.lastOut)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CountLocallyStable returns how many peers currently pass the local
+// stability check; the network is globally stable iff the count equals
+// NumPeers (after at least one executed round).
+func (nw *Network) CountLocallyStable() int {
+	c := 0
+	for _, id := range nw.order {
+		if nw.LocallyStable(id) {
+			c++
+		}
+	}
+	return c
+}

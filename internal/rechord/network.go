@@ -1,0 +1,402 @@
+package rechord
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/ident"
+	"repro/internal/ref"
+)
+
+// Config controls protocol variants and execution.
+type Config struct {
+	// DisableRing turns off rule 5, for the linearization-only
+	// ablation: the network converges to a sorted list, never a ring.
+	DisableRing bool
+	// DisableConnection turns off rule 6, demonstrating why connection
+	// edges are needed (sibling clusters can stay disconnected).
+	DisableConnection bool
+	// Workers sets the number of goroutines that execute node rules in
+	// parallel within a round. 0 means GOMAXPROCS; 1 forces serial
+	// execution. Results are identical for any value: nodes only read
+	// their own state plus an immutable snapshot, and all cross-node
+	// effects are delayed messages merged at the round barrier.
+	Workers int
+}
+
+// RoundStats reports what happened during one Step.
+type RoundStats struct {
+	Round         int // the round number just executed (1-based)
+	MessagesSent  int
+	VirtualMade   int
+	VirtualKilled int
+}
+
+// Network is the synchronous-round simulation of a Re-Chord system:
+// the set of peers, their virtual nodes and edge sets, and the message
+// queues between rounds. It implements the standard synchronous
+// message-passing model of Section 2.1.
+type Network struct {
+	cfg   Config
+	nodes map[ident.ID]*RealNode
+	order []ident.ID // sorted, for deterministic iteration
+	round int
+
+	// levelOf snapshots each peer's current max level at the start of
+	// a round so that stale references to deleted virtual nodes can be
+	// detected (see purge).
+	levelOf map[ident.ID]int
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork(cfg Config) *Network {
+	return &Network{
+		cfg:     cfg,
+		nodes:   make(map[ident.ID]*RealNode),
+		levelOf: make(map[ident.ID]int),
+	}
+}
+
+// AddPeer inserts a real node with the identifier and no edges. It is
+// the caller's job (topogen, Join) to give it initial knowledge.
+func (nw *Network) AddPeer(id ident.ID) *RealNode {
+	if _, ok := nw.nodes[id]; ok {
+		panic(fmt.Sprintf("rechord: duplicate peer id %s", id))
+	}
+	n := &RealNode{id: id, vnodes: map[int]*VNode{0: newVNode(id, 0)}}
+	nw.nodes[id] = n
+	nw.insertOrder(id)
+	return n
+}
+
+func (nw *Network) insertOrder(id ident.ID) {
+	i := 0
+	for i < len(nw.order) && nw.order[i] < id {
+		i++
+	}
+	nw.order = append(nw.order, 0)
+	copy(nw.order[i+1:], nw.order[i:])
+	nw.order[i] = id
+}
+
+func (nw *Network) removeOrder(id ident.ID) {
+	for i, x := range nw.order {
+		if x == id {
+			nw.order = append(nw.order[:i], nw.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// SeedEdge gives the peer owning `from` initial knowledge of `to` as an
+// edge of the kind, creating the source virtual node if needed. Used to
+// build arbitrary initial states.
+func (nw *Network) SeedEdge(from, to ref.Ref, k graph.Kind) {
+	n, ok := nw.nodes[from.Owner]
+	if !ok {
+		panic(fmt.Sprintf("rechord: SeedEdge from unknown peer %s", from.Owner))
+	}
+	v, ok := n.vnodes[from.Level]
+	if !ok {
+		v = newVNode(from.Owner, from.Level)
+		n.vnodes[from.Level] = v
+	}
+	switch k {
+	case graph.Unmarked:
+		v.addNu(to)
+	case graph.Ring:
+		v.addNr(to)
+	case graph.Connection:
+		v.addNc(to)
+	}
+}
+
+// Peers returns the identifiers of all real nodes in increasing order.
+func (nw *Network) Peers() []ident.ID {
+	return append([]ident.ID(nil), nw.order...)
+}
+
+// Peer returns the real node with the identifier, or nil.
+func (nw *Network) Peer(id ident.ID) *RealNode { return nw.nodes[id] }
+
+// NumPeers returns the number of real nodes.
+func (nw *Network) NumPeers() int { return len(nw.nodes) }
+
+// Round returns the number of rounds executed so far.
+func (nw *Network) Round() int { return nw.round }
+
+// snapshotLevels records each peer's simulated levels for stale-ref
+// detection during this round.
+func (nw *Network) snapshotLevels() {
+	for id := range nw.levelOf {
+		delete(nw.levelOf, id)
+	}
+	for id, n := range nw.nodes {
+		nw.levelOf[id] = n.MaxLevel()
+	}
+}
+
+// resolve maps a reference onto a node that currently exists: dead
+// peers yield ok=false; references to deleted virtual levels of a live
+// peer fall back to the peer's real node, which in a deployment is the
+// process that answers for all of the peer's virtual addresses.
+func (nw *Network) resolve(r ref.Ref) (ref.Ref, bool) {
+	max, ok := nw.levelOf[r.Owner]
+	if !ok {
+		return ref.Ref{}, false
+	}
+	if r.Level > max {
+		return ref.Real(r.Owner), true
+	}
+	return r, true
+}
+
+// purge rewrites every edge set of n, dropping references to departed
+// peers and redirecting references to deleted virtual nodes to the
+// owning peer (perfect failure detection, the substitution documented
+// in DESIGN.md for the paper's implicit fault model).
+func (nw *Network) purge(n *RealNode) {
+	for _, v := range n.vnodes {
+		for _, s := range []*ref.Set{&v.Nu, &v.Nr, &v.Nc} {
+			var fixed []ref.Ref
+			dirty := false
+			for _, r := range s.Slice() {
+				rr, ok := nw.resolve(r)
+				if !ok || rr != r {
+					dirty = true
+					if ok {
+						fixed = append(fixed, rr)
+					}
+					continue
+				}
+				fixed = append(fixed, r)
+			}
+			if dirty {
+				s.Clear()
+				for _, r := range fixed {
+					if r != v.Self {
+						s.Add(r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// deliver applies the inbox of n: delayed edge insertions from last
+// round. Messages to virtual levels the peer no longer simulates are
+// merged into the closest surviving virtual node u_m, per rule 1's
+// merge semantics.
+func (nw *Network) deliver(n *RealNode) {
+	for _, msg := range n.inbox {
+		lvl := msg.To.Level
+		v, ok := n.vnodes[lvl]
+		if !ok {
+			v = n.vnodes[n.MaxLevel()]
+		}
+		switch msg.Kind {
+		case graph.Unmarked:
+			v.addNu(msg.Add)
+		case graph.Ring:
+			v.addNr(msg.Add)
+		case graph.Connection:
+			v.addNc(msg.Add)
+		}
+	}
+	n.inbox = n.inbox[:0]
+}
+
+// neighborView is the immutable published state other nodes may read
+// in guards (the state-reading model): rl/rr per node as of the round
+// start, used by rule 3's "v > rl(y)" guard.
+type neighborView struct {
+	rl, rr       map[ref.Ref]ref.Ref
+	hasRL, hasRR map[ref.Ref]bool
+}
+
+func (nw *Network) buildView() *neighborView {
+	view := &neighborView{
+		rl:    make(map[ref.Ref]ref.Ref),
+		rr:    make(map[ref.Ref]ref.Ref),
+		hasRL: make(map[ref.Ref]bool),
+		hasRR: make(map[ref.Ref]bool),
+	}
+	for _, n := range nw.nodes {
+		for _, v := range n.vnodes {
+			if v.HasRL {
+				view.rl[v.Self] = v.RL
+				view.hasRL[v.Self] = true
+			}
+			if v.HasRR {
+				view.rr[v.Self] = v.RR
+				view.hasRR[v.Self] = true
+			}
+		}
+	}
+	return view
+}
+
+// Step executes one synchronous round: deliver last round's messages,
+// purge dead references, then run rules 1-6 at every peer (in parallel
+// across peers) and enqueue the generated messages for the next round.
+func (nw *Network) Step() RoundStats {
+	nw.round++
+	stats := RoundStats{Round: nw.round}
+
+	nw.snapshotLevels()
+	for _, id := range nw.order {
+		n := nw.nodes[id]
+		nw.deliver(n)
+		nw.purge(n)
+	}
+	view := nw.buildView()
+
+	workers := nw.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(nw.order) {
+		workers = len(nw.order)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([]nodeResult, len(nw.order))
+	if workers == 1 {
+		for i, id := range nw.order {
+			results[i] = nw.runRules(nw.nodes[id], view)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int, len(nw.order))
+		for i := range nw.order {
+			next <- i
+		}
+		close(next)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i] = nw.runRules(nw.nodes[nw.order[i]], view)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Round barrier: route all messages to their destination inboxes.
+	for i, res := range results {
+		nw.nodes[nw.order[i]].lastOut = res.out
+		stats.VirtualMade += res.made
+		stats.VirtualKilled += res.killed
+		for _, msg := range res.out {
+			dst, ok := nw.nodes[msg.To.Owner]
+			if !ok {
+				continue // destination departed this round
+			}
+			dst.inbox = append(dst.inbox, msg)
+			stats.MessagesSent++
+		}
+	}
+	return stats
+}
+
+// nodeResult carries one peer's delayed effects out of the parallel
+// section.
+type nodeResult struct {
+	out          []Message
+	made, killed int
+}
+
+// Snapshot is a deep copy of the network state at a round boundary,
+// used for fixed-point detection and analysis.
+type Snapshot struct {
+	Round int
+	nodes map[ident.ID]*RealNode
+}
+
+// TakeSnapshot deep-copies the current state (including pending
+// inboxes, which are part of the global state of the synchronous
+// model).
+func (nw *Network) TakeSnapshot() *Snapshot {
+	s := &Snapshot{Round: nw.round, nodes: make(map[ident.ID]*RealNode, len(nw.nodes))}
+	for id, n := range nw.nodes {
+		s.nodes[id] = n.clone()
+	}
+	return s
+}
+
+// Equal reports whether two snapshots are identical global states.
+func (s *Snapshot) Equal(o *Snapshot) bool {
+	if len(s.nodes) != len(o.nodes) {
+		return false
+	}
+	for id, n := range s.nodes {
+		on, ok := o.nodes[id]
+		if !ok || !n.equal(on) {
+			return false
+		}
+	}
+	return true
+}
+
+// Graph exports the current state as a graph snapshot over all real
+// and virtual nodes with their marked edges. Edges pending in inboxes
+// (delayed assignments already issued, visible next round) are
+// included: in the synchronous model they are part of the global
+// state, and the steady-state connection- and ring-edge flows live
+// there at round boundaries.
+func (nw *Network) Graph() *graph.Graph {
+	g := graph.New()
+	for _, id := range nw.order {
+		n := nw.nodes[id]
+		for _, v := range n.vnodesByLevel() {
+			g.AddNode(v.Self)
+			for _, r := range v.Nu.Slice() {
+				g.AddEdge(v.Self, r, graph.Unmarked)
+			}
+			for _, r := range v.Nr.Slice() {
+				g.AddEdge(v.Self, r, graph.Ring)
+			}
+			for _, r := range v.Nc.Slice() {
+				g.AddEdge(v.Self, r, graph.Connection)
+			}
+		}
+	}
+	for _, id := range nw.order {
+		for _, msg := range nw.nodes[id].inbox {
+			if msg.To != msg.Add {
+				g.AddEdge(msg.To, msg.Add, msg.Kind)
+			}
+		}
+	}
+	return g
+}
+
+// ReChordGraph exports E_ReChord (Section 2.2): the projection of the
+// unmarked and ring edges onto the real nodes — edge (u,v) whenever
+// some (u_i, v) is in E_u or E_r. Self-loops from edges between a
+// peer's own virtual nodes are omitted.
+func (nw *Network) ReChordGraph() *graph.Graph {
+	g := graph.New()
+	for _, id := range nw.order {
+		g.AddNode(ref.Real(id))
+	}
+	for _, id := range nw.order {
+		n := nw.nodes[id]
+		for _, v := range n.vnodes {
+			for _, set := range []ref.Set{v.Nu, v.Nr} {
+				for _, r := range set.Slice() {
+					if r.Owner != id {
+						g.AddEdge(ref.Real(id), ref.Real(r.Owner), graph.Unmarked)
+					}
+				}
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,350 @@
+package rechord
+
+import (
+	"repro/internal/graph"
+	"repro/internal/ident"
+	"repro/internal/ref"
+)
+
+// ruleContext carries one peer's in-round working state: the rules'
+// immediate assignments mutate the node directly, delayed assignments
+// append to out.
+type ruleContext struct {
+	nw   *Network
+	n    *RealNode
+	view *neighborView
+	res  nodeResult
+}
+
+// send enqueues a delayed edge insertion ("A <= B"): the destination
+// only becomes aware of the edge in the next round.
+func (c *ruleContext) send(to ref.Ref, k graph.Kind, add ref.Ref) {
+	if to == add {
+		return
+	}
+	c.res.out = append(c.res.out, Message{To: to, Kind: k, Add: add})
+}
+
+// runRules executes rules 1-6 in the paper's order for one peer. The
+// receiver only reads its own state and the immutable round-start view
+// of other nodes' published variables, so peers can run concurrently.
+func (nw *Network) runRules(n *RealNode, view *neighborView) nodeResult {
+	c := &ruleContext{nw: nw, n: n, view: view}
+	c.ruleVirtualNodes()
+	c.ruleOverlappingNeighborhood()
+	c.ruleClosestRealNeighbor()
+	c.ruleLinearization()
+	if !nw.cfg.DisableRing {
+		c.ruleRingEdges()
+	}
+	if !nw.cfg.DisableConnection {
+		c.ruleConnectionEdges()
+	}
+	return c.res
+}
+
+// ruleVirtualNodes implements rule 1: recompute m from the peer's
+// outgoing edges to real nodes, create the missing virtual nodes
+// u_1..u_m, and delete levels beyond m, merging each deleted node's
+// neighborhoods into N_u(u_m).
+func (c *ruleContext) ruleVirtualNodes() {
+	n := c.n
+	m := ident.LevelFor(n.id, n.knownReals())
+	// create-virtualnodes
+	for i := 1; i <= m; i++ {
+		if _, ok := n.vnodes[i]; !ok {
+			n.vnodes[i] = newVNode(n.id, i)
+			c.res.made++
+		}
+	}
+	// delete-virtualnodes: inform u_m of each deleted node's
+	// neighborhood (N_u ∪ N_r ∪ N_c), then drop the node.
+	um := n.vnodes[m]
+	for l, v := range n.vnodes {
+		if l <= m {
+			continue
+		}
+		for _, s := range []ref.Set{v.Nu, v.Nr, v.Nc} {
+			for _, r := range s.Slice() {
+				if r.Owner == n.id && r.Level > m {
+					continue // reference to a sibling also being deleted
+				}
+				um.addNu(r)
+			}
+		}
+		delete(n.vnodes, l)
+		c.res.killed++
+	}
+	// Drop references to the peer's own no-longer-existing levels: the
+	// peer knows its own virtual node set exactly.
+	for _, v := range n.vnodes {
+		for _, s := range []*ref.Set{&v.Nu, &v.Nr, &v.Nc} {
+			s.RemoveIf(func(r ref.Ref) bool {
+				return r.Owner == n.id && n.vnodes[r.Level] == nil
+			})
+		}
+	}
+}
+
+// ruleOverlappingNeighborhood implements rule 2: if a neighbor w of
+// u_i has a sibling u_j strictly between w and u_i, the edge is handed
+// to the sibling closest to w — both nodes belong to the same peer, so
+// the move is immediate.
+func (c *ruleContext) ruleOverlappingNeighborhood() {
+	n := c.n
+	sibs := n.siblings()
+	for _, level := range n.Levels() {
+		ui := n.vnodes[level]
+		uiID := ui.Self.ID()
+		for _, w := range append([]ref.Ref(nil), ui.Nu.Slice()...) {
+			wID := w.ID()
+			// Find the sibling closest to w strictly between w and u_i
+			// in the linear order.
+			var best ref.Ref
+			found := false
+			for _, s := range sibs {
+				sID := s.ID()
+				if s == ui.Self {
+					continue
+				}
+				inLeft := wID < sID && sID < uiID  // w < u_j < u_i
+				inRight := wID > sID && sID > uiID // w > u_j > u_i
+				if !inLeft && !inRight {
+					continue
+				}
+				if !found {
+					best, found = s, true
+					continue
+				}
+				// closest to w: minimal |s - w| on the line
+				if absDiff(sID, wID) < absDiff(best.ID(), wID) {
+					best = s
+				}
+			}
+			if found {
+				ui.Nu.Remove(w)
+				n.vnodes[best.Level].addNu(w)
+			}
+		}
+	}
+}
+
+func absDiff(a, b ident.ID) uint64 {
+	if a > b {
+		return uint64(a - b)
+	}
+	return uint64(b - a)
+}
+
+// ruleClosestRealNeighbor implements rule 3: every virtual node finds
+// the closest real node to its left and right within the peer's known
+// neighborhood N(u_i), stores them in rl/rr, keeps them in N_u, and
+// informs the unmarked neighbors for which the find is an improvement
+// over their published rl/rr.
+func (c *ruleContext) ruleClosestRealNeighbor() {
+	n := c.n
+	known := n.knownSet()
+	// The closest real candidates are the same for all siblings except
+	// for the strict </> constraint; scan the ordered known set once.
+	reals := known.Filter(func(r ref.Ref) bool { return r.IsReal() })
+	for _, level := range n.Levels() {
+		ui := n.vnodes[level]
+		uiID := ui.Self.ID()
+
+		// left-realneighbor
+		if v, ok := reals.MaxBelow(uiID); ok {
+			ui.HasRL = true
+			ui.RL = v
+			ui.addNu(v)
+			for _, y := range ui.Nu.Slice() {
+				yID := y.ID()
+				if !(yID > uiID || (v.ID() < yID && yID < uiID)) {
+					continue
+				}
+				if cur, has := c.view.rl[y]; c.view.hasRL[y] && has == true && cur.ID() >= v.ID() {
+					continue // y already knows an equal or closer left real
+				}
+				c.send(y, graph.Unmarked, v)
+			}
+		} else {
+			ui.HasRL = false
+		}
+
+		// right-realneighbor
+		if v, ok := reals.MinAbove(uiID); ok {
+			ui.HasRR = true
+			ui.RR = v
+			ui.addNu(v)
+			for _, y := range ui.Nu.Slice() {
+				yID := y.ID()
+				if !(yID < uiID || (v.ID() > yID && yID > uiID)) {
+					continue
+				}
+				if cur, has := c.view.rr[y]; c.view.hasRR[y] && has == true && cur.ID() <= v.ID() {
+					continue // y already knows an equal or closer right real
+				}
+				c.send(y, graph.Unmarked, v)
+			}
+		} else {
+			ui.HasRR = false
+		}
+	}
+}
+
+// ruleLinearization implements rule 4: each virtual node keeps only
+// its closest unmarked neighbor on each side, forwarding every farther
+// edge one hop toward its endpoint (sorted order), then mirrors itself
+// to the closest neighbors and re-adds rl/rr.
+func (c *ruleContext) ruleLinearization() {
+	n := c.n
+	for _, level := range n.Levels() {
+		ui := n.vnodes[level]
+		uiID := ui.Self.ID()
+
+		// lin-left: neighbors smaller than u_i in descending order
+		// w_1 > w_2 > ...; edge to w_{l+1} is forwarded to w_l.
+		var lefts, rights []ref.Ref
+		for _, w := range ui.Nu.Slice() {
+			if w.ID() < uiID {
+				lefts = append(lefts, w)
+			} else if w.ID() > uiID {
+				rights = append(rights, w)
+			} else if w != ui.Self {
+				// Equal identifier, distinct node (hash collision):
+				// treat as a right neighbor at distance zero.
+				rights = append(rights, w)
+			}
+		}
+		// Slice() is ascending; lefts ascending means the last element
+		// is the closest left neighbor, which is kept.
+		for i := 0; i+1 < len(lefts); i++ {
+			v, w := lefts[i], lefts[i+1] // v = max{y < w}
+			c.send(w, graph.Unmarked, v)
+			ui.Nu.Remove(v)
+		}
+		// rights ascending: first element is closest and kept.
+		for i := len(rights) - 1; i > 0; i-- {
+			v, w := rights[i], rights[i-1] // v = min{y > w}
+			c.send(w, graph.Unmarked, v)
+			ui.Nu.Remove(v)
+		}
+
+		// mirroring: the surviving closest neighbors learn about u_i,
+		// and rl/rr stay in N_u so the closest-real knowledge is never
+		// lost to forwarding.
+		for _, v := range ui.Nu.Slice() {
+			c.send(v, graph.Unmarked, ui.Self)
+		}
+		if ui.HasRL {
+			ui.addNu(ui.RL)
+		}
+		if ui.HasRR {
+			ui.addNu(ui.RR)
+		}
+	}
+}
+
+// ruleRingEdges implements rule 5: a virtual node missing a left
+// (right) neighbor asks the largest (smallest) known node to hold a
+// ring edge to it; ring-edge holders forward the edge toward the
+// global maximum (minimum) or dissolve it into an unmarked edge when
+// they know a node beyond the edge's target.
+func (c *ruleContext) ruleRingEdges() {
+	n := c.n
+	known := n.knownSet()
+
+	// create-all-ring-edges
+	for _, level := range n.Levels() {
+		ui := n.vnodes[level]
+		uiID := ui.Self.ID()
+		if _, hasLeft := ui.Nu.MaxBelow(uiID); !hasLeft {
+			if v, ok := known.Max(); ok && v != ui.Self {
+				c.send(v, graph.Ring, ui.Self)
+			}
+		}
+		if _, hasRight := ui.Nu.MinAbove(uiID); !hasRight {
+			if v, ok := known.Min(); ok && v != ui.Self {
+				c.send(v, graph.Ring, ui.Self)
+			}
+		}
+	}
+
+	// forward-all-ring-edges
+	for _, level := range n.Levels() {
+		ui := n.vnodes[level]
+		uiID := ui.Self.ID()
+		for _, w := range append([]ref.Ref(nil), ui.Nr.Slice()...) {
+			wID := w.ID()
+			// candidates x come from N(u_i) ∪ N_r(u_i)
+			cand := known.Clone()
+			cand.AddAll(ui.Nr)
+			switch {
+			case wID > uiID:
+				// w believes it is the global maximum. If someone
+				// beyond w is known, hand w that connection; else
+				// forward the ring edge toward the global minimum.
+				if x, ok := cand.MinAbove(wID); ok {
+					c.send(x, graph.Unmarked, w)
+					ui.Nr.Remove(w)
+				} else if v, ok := known.Min(); ok && v != ui.Self {
+					c.send(v, graph.Ring, w)
+					ui.Nr.Remove(w)
+				}
+			case wID < uiID:
+				if x, ok := cand.MaxBelow(wID); ok {
+					c.send(x, graph.Unmarked, w)
+					ui.Nr.Remove(w)
+				} else if v, ok := known.Max(); ok && v != ui.Self {
+					c.send(v, graph.Ring, w)
+					ui.Nr.Remove(w)
+				}
+			default:
+				// Identifier collision with the holder: dissolve into
+				// an unmarked edge so the pair linearizes locally.
+				c.send(w, graph.Unmarked, ui.Self)
+				ui.Nr.Remove(w)
+			}
+		}
+	}
+}
+
+// ruleConnectionEdges implements rule 6: contiguous virtual siblings
+// are linked by connection edges, which are then routed through the
+// network toward their target, leaving behind the unmarked backward
+// edge that glues the sibling's interval to its predecessor.
+func (c *ruleContext) ruleConnectionEdges() {
+	n := c.n
+	sibs := n.siblings()
+
+	// connect-virtual-nodes: consecutive siblings in sorted order.
+	for i := 0; i+1 < len(sibs); i++ {
+		n.vnodes[sibs[i].Level].addNc(sibs[i+1])
+	}
+
+	// forward-all-cedges
+	var sibSet ref.Set
+	for _, s := range sibs {
+		sibSet.Add(s)
+	}
+	for _, level := range n.Levels() {
+		ui := n.vnodes[level]
+		for _, v := range append([]ref.Ref(nil), ui.Nc.Slice()...) {
+			// w = max{x in N_u(u_i) ∪ S(u_i) : x < v}
+			cand := ui.Nu.Clone()
+			cand.AddAll(sibSet)
+			w, ok := cand.MaxBelow(v.ID())
+			switch {
+			case ok && w != ui.Self:
+				c.send(w, graph.Connection, v)
+				ui.Nc.Remove(v)
+			default:
+				// u_i itself is the largest known node below v (or
+				// nothing below v is known): create the unmarked
+				// backward edge (v, u_i) and retire the connection
+				// edge.
+				c.send(v, graph.Unmarked, ui.Self)
+				ui.Nc.Remove(v)
+			}
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package rechord_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/rechord"
+	"repro/internal/sim"
+	"repro/internal/topogen"
+)
+
+func TestScale105(t *testing.T) {
+	for _, gen := range topogen.All() {
+		rng := rand.New(rand.NewSource(7))
+		ids := topogen.RandomIDs(105, rng)
+		nw := gen.Build(ids, rng, rechord.Config{})
+		idl := rechord.ComputeIdeal(ids)
+		start := time.Now()
+		res, err := sim.RunToStable(nw, sim.Options{Ideal: idl})
+		if err != nil {
+			t.Fatalf("%s: %v", gen.Name, err)
+		}
+		if err := idl.Matches(nw); err != nil {
+			t.Errorf("%s: wrong state: %v", gen.Name, err)
+		}
+		t.Logf("%s: n=105 stable after %d rounds (almost %d), %d msgs, %v",
+			gen.Name, res.Rounds, res.AlmostStableRound, res.TotalMessages, time.Since(start))
+	}
+}

@@ -1,0 +1,253 @@
+// Package rechord implements the Re-Chord self-stabilizing overlay
+// network of Kniesburges, Koutsopoulos and Scheideler (SPAA 2011).
+//
+// Every peer (real node) simulates a set of virtual nodes u_i at
+// identifiers u + 1/2^i (mod 1); the protocol maintains, per virtual
+// node, three outgoing edge sets — unmarked (N_u), ring (N_r) and
+// connection (N_c) — and repairs them with six purely local rules per
+// synchronous round:
+//
+//  1. Virtual Nodes: create u_1..u_m, delete levels beyond m.
+//  2. Overlapping Neighborhood: hand edges to the sibling closest to
+//     the target.
+//  3. Closest Real Neighbor: find and propagate rl/rr, the closest
+//     real nodes to the left and right.
+//  4. Linearization: sort the unmarked neighborhood, forward far edges
+//     toward their endpoints, mirror the closest ones.
+//  5. Ring Edge: let the extreme nodes close the sorted list into a
+//     ring via marked ring edges.
+//  6. Connection Edges: keep contiguous virtual siblings connected
+//     through the nodes between them.
+//
+// From any state in which the peers are weakly connected, the network
+// converges to the unique stable Re-Chord topology, which contains
+// Chord as a subgraph (Fact 2.1).
+package rechord
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/ident"
+	"repro/internal/ref"
+)
+
+// VNode is the state of one virtual node (level 0 is the real node
+// itself): its three outgoing edge sets and its current belief about
+// its closest real neighbors.
+type VNode struct {
+	Self ref.Ref
+	Nu   ref.Set // unmarked edges E_u
+	Nr   ref.Set // ring edges E_r
+	Nc   ref.Set // connection edges E_c
+
+	// RL/RR are the node's variables rl(u_i) and rr(u_i): the closest
+	// real node to the left resp. right, recomputed by rule 3 every
+	// round. HasRL/HasRR report whether they are set.
+	RL, RR       ref.Ref
+	HasRL, HasRR bool
+}
+
+func newVNode(owner ident.ID, level int) *VNode {
+	return &VNode{Self: ref.Virtual(owner, level)}
+}
+
+// addNu inserts r into N_u, refusing self-loops.
+func (v *VNode) addNu(r ref.Ref) {
+	if r != v.Self {
+		v.Nu.Add(r)
+	}
+}
+
+func (v *VNode) addNr(r ref.Ref) {
+	if r != v.Self {
+		v.Nr.Add(r)
+	}
+}
+
+func (v *VNode) addNc(r ref.Ref) {
+	if r != v.Self {
+		v.Nc.Add(r)
+	}
+}
+
+func (v *VNode) clone() *VNode {
+	c := *v
+	c.Nu = v.Nu.Clone()
+	c.Nr = v.Nr.Clone()
+	c.Nc = v.Nc.Clone()
+	return &c
+}
+
+func (v *VNode) equal(o *VNode) bool {
+	return v.Self == o.Self &&
+		v.HasRL == o.HasRL && v.HasRR == o.HasRR &&
+		(!v.HasRL || v.RL == o.RL) &&
+		(!v.HasRR || v.RR == o.RR) &&
+		v.Nu.Equal(o.Nu) && v.Nr.Equal(o.Nr) && v.Nc.Equal(o.Nc)
+}
+
+// RealNode is a peer: its immutable identifier and the virtual nodes
+// it currently simulates (levels 0..m, always contiguous after rule 1).
+type RealNode struct {
+	id     ident.ID
+	vnodes map[int]*VNode
+	inbox  []Message
+	// lastOut records the messages generated in the peer's previous
+	// round, for the local stability check; it is derived state and
+	// not part of global-state equality.
+	lastOut []Message
+}
+
+// ID returns the peer's identifier.
+func (n *RealNode) ID() ident.ID { return n.id }
+
+// Levels returns the levels of the currently simulated virtual nodes
+// in increasing order (0 is always present).
+func (n *RealNode) Levels() []int {
+	ls := make([]int, 0, len(n.vnodes))
+	for l := range n.vnodes {
+		ls = append(ls, l)
+	}
+	sort.Ints(ls)
+	return ls
+}
+
+// MaxLevel returns the current m: the highest simulated level.
+func (n *RealNode) MaxLevel() int {
+	m := 0
+	for l := range n.vnodes {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// VNode returns the virtual node at the level, or nil.
+func (n *RealNode) VNode(level int) *VNode { return n.vnodes[level] }
+
+// siblings returns refs to all currently simulated virtual nodes
+// (including level 0), sorted by identifier.
+func (n *RealNode) siblings() []ref.Ref {
+	out := make([]ref.Ref, 0, len(n.vnodes))
+	for l := range n.vnodes {
+		out = append(out, ref.Virtual(n.id, l))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// vnodesByLevel returns the virtual nodes ordered by level.
+func (n *RealNode) vnodesByLevel() []*VNode {
+	out := make([]*VNode, 0, len(n.vnodes))
+	for _, l := range n.Levels() {
+		out = append(out, n.vnodes[l])
+	}
+	return out
+}
+
+// knownSet computes N(u): the refs of all siblings plus the union of
+// the unmarked neighborhoods of all virtual nodes (Section 2.2).
+func (n *RealNode) knownSet() ref.Set {
+	var known ref.Set
+	for l := range n.vnodes {
+		known.Add(ref.Virtual(n.id, l))
+	}
+	for _, v := range n.vnodes {
+		known.AddAll(v.Nu)
+	}
+	return known
+}
+
+// knownReals lists the identifiers of all real nodes this peer has an
+// outgoing edge to (any marking), used to compute m.
+func (n *RealNode) knownReals() []ident.ID {
+	seen := map[ident.ID]bool{}
+	add := func(s ref.Set) {
+		for _, r := range s.Slice() {
+			if r.IsReal() && r.Owner != n.id {
+				seen[r.Owner] = true
+			}
+		}
+	}
+	for _, v := range n.vnodes {
+		add(v.Nu)
+		add(v.Nr)
+		add(v.Nc)
+	}
+	out := make([]ident.ID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (n *RealNode) clone() *RealNode {
+	c := &RealNode{id: n.id, vnodes: make(map[int]*VNode, len(n.vnodes))}
+	for l, v := range n.vnodes {
+		c.vnodes[l] = v.clone()
+	}
+	c.inbox = append([]Message(nil), n.inbox...)
+	c.lastOut = append([]Message(nil), n.lastOut...)
+	return c
+}
+
+func (n *RealNode) equal(o *RealNode) bool {
+	if n.id != o.id || len(n.vnodes) != len(o.vnodes) {
+		return false
+	}
+	for l, v := range n.vnodes {
+		ov, ok := o.vnodes[l]
+		if !ok || !v.equal(ov) {
+			return false
+		}
+	}
+	// The global state of the synchronous model includes the messages
+	// in flight: two states with equal edge sets but different pending
+	// deliveries evolve differently.
+	if len(n.inbox) != len(o.inbox) {
+		return false
+	}
+	a := sortedMessages(n.inbox)
+	b := sortedMessages(o.inbox)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedMessages returns a canonically ordered copy, so inbox
+// comparison is order-insensitive (delivery is set-union, hence
+// commutative).
+func sortedMessages(ms []Message) []Message {
+	out := append([]Message(nil), ms...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.To != b.To {
+			return a.To.Less(b.To)
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Add.Less(b.Add)
+	})
+	return out
+}
+
+// Message is a delayed assignment (the paper's "A <= B"): an edge
+// insertion that becomes visible at the target at the start of the
+// next round.
+type Message struct {
+	To   ref.Ref    // destination node (may be virtual)
+	Kind graph.Kind // which edge set of the destination to extend
+	Add  ref.Ref    // the node to insert
+}
+
+// String renders the message for traces.
+func (m Message) String() string {
+	return fmt.Sprintf("%s: add %s to %s", m.To, m.Add, m.Kind)
+}

@@ -1,0 +1,140 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/churn"
+	"repro/internal/ident"
+	"repro/internal/rechord"
+)
+
+func stable(t *testing.T, n int, seed int64) (*rechord.Network, []ident.ID) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nw, ids, err := churn.StableNetwork(n, rng, rechord.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw, ids
+}
+
+func TestTableMatchesChordFingers(t *testing.T) {
+	nw, ids := stable(t, 40, 1)
+	sorted := append([]ident.ID(nil), ids...)
+	ident.Sort(sorted)
+	for _, id := range ids {
+		tab, err := TableOf(nw, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSucc := sorted[(idxOf(sorted, id)+1)%len(sorted)]
+		if !tab.HasSucc || tab.Successor != wantSucc {
+			t.Fatalf("peer %s: successor = %v(%v), want %s", id, tab.Successor, tab.HasSucc, wantSucc)
+		}
+		n := nw.Peer(id)
+		for _, lvl := range n.Levels() {
+			if lvl == 0 {
+				continue
+			}
+			want := ident.Successor(sorted, ident.Sibling(id, lvl))
+			if f, ok := tab.Fingers[lvl]; ok {
+				if f != want {
+					t.Errorf("peer %s finger %d = %s, want %s", id, lvl, f, want)
+				}
+			} else if want > ident.Sibling(id, lvl) {
+				// A finger may only be absent when Chord's definition
+				// wraps (no real node linearly above the virtual node).
+				t.Errorf("peer %s finger %d missing but target %s has linear successor %s",
+					id, lvl, ident.Sibling(id, lvl), want)
+			}
+		}
+	}
+}
+
+func idxOf(sorted []ident.ID, id ident.ID) int {
+	for i, x := range sorted {
+		if x == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestRouteFindsOwner(t *testing.T) {
+	nw, ids := stable(t, 40, 2)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		key := ident.ID(rng.Uint64())
+		want, err := Owner(nw, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, path, err := Route(nw, ids[rng.Intn(len(ids))], key)
+		if err != nil {
+			t.Fatalf("route: %v (path %v)", err, path)
+		}
+		if got != want {
+			t.Fatalf("Route(%s) = %s, want %s", key, got, want)
+		}
+	}
+}
+
+func TestRouteLogarithmicHops(t *testing.T) {
+	nw, ids := stable(t, 96, 4)
+	rng := rand.New(rand.NewSource(5))
+	total, trials := 0, 300
+	for i := 0; i < trials; i++ {
+		_, path, err := Route(nw, ids[rng.Intn(len(ids))], ident.ID(rng.Uint64()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(path)
+	}
+	mean := float64(total) / float64(trials)
+	if bound := 3 * math.Log2(96); mean > bound {
+		t.Errorf("mean path length %.2f exceeds 3 log2 n = %.2f", mean, bound)
+	}
+	t.Logf("mean path length n=96: %.2f", mean)
+}
+
+func TestRouteSelfKey(t *testing.T) {
+	nw, ids := stable(t, 10, 6)
+	// A key equal to a peer's id is owned by that peer.
+	got, _, err := Route(nw, ids[3], ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ids[0] {
+		t.Errorf("Route to existing id = %s, want %s", got, ids[0])
+	}
+}
+
+func TestSingletonNetwork(t *testing.T) {
+	nw, ids := stable(t, 1, 7)
+	got, _, err := Route(nw, ids[0], ident.ID(12345))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ids[0] {
+		t.Errorf("singleton route = %s, want %s", got, ids[0])
+	}
+}
+
+func TestTableOfUnknownPeer(t *testing.T) {
+	nw, _ := stable(t, 5, 8)
+	if _, err := TableOf(nw, ident.ID(424242)); err == nil {
+		t.Error("TableOf on unknown peer must error")
+	}
+	if _, _, err := Route(nw, ident.ID(424242), ident.ID(1)); err == nil {
+		t.Error("Route from unknown peer must error")
+	}
+}
+
+func TestOwnerEmptyNetwork(t *testing.T) {
+	nw := rechord.NewNetwork(rechord.Config{})
+	if _, err := Owner(nw, ident.ID(1)); err == nil {
+		t.Error("Owner on empty network must error")
+	}
+}

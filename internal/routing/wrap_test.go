@@ -1,0 +1,100 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/churn"
+	"repro/internal/ident"
+	"repro/internal/rechord"
+)
+
+// TestWrapKeysOwnedBySmallestPeer: keys above the largest peer wrap to
+// the smallest peer; the route must cross the 1.0 boundary through the
+// ring-edge machinery regardless of the start peer.
+func TestWrapKeysOwnedBySmallestPeer(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	nw, ids, err := churn.StableNetwork(32, rng, rechord.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]ident.ID(nil), ids...)
+	ident.Sort(sorted)
+	smallest, largest := sorted[0], sorted[len(sorted)-1]
+	// Keys strictly above the largest peer, including the extreme top
+	// of the space.
+	keys := []ident.ID{
+		largest + 1,
+		largest + (0-largest)/2, // midway to the wrap
+		^ident.ID(0),            // the very top
+	}
+	// Keys strictly below the smallest peer also belong to it.
+	if smallest > 1 {
+		keys = append(keys, smallest-1, smallest/2, 1)
+	}
+	for _, key := range keys {
+		for _, from := range []ident.ID{smallest, largest, sorted[len(sorted)/2]} {
+			got, path, err := Route(nw, from, key)
+			if err != nil {
+				t.Fatalf("Route(%s from %s): %v (path %v)", key, from, err, path)
+			}
+			if got != smallest {
+				t.Fatalf("Route(%s from %s) = %s, want smallest peer %s (path %v)",
+					key, from, got, smallest, path)
+			}
+		}
+	}
+}
+
+// TestExhaustiveOwnersSmallNetwork routes a dense grid of keys on a
+// small network and cross-checks every owner against the
+// consistent-hashing oracle.
+func TestExhaustiveOwnersSmallNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	nw, ids, err := churn.StableNetwork(9, rng, rechord.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const grid = 512
+	for i := 0; i < grid; i++ {
+		key := ident.ID(uint64(i) << 55) // evenly spaced around the ring
+		want, _ := Owner(nw, key)
+		got, path, err := Route(nw, ids[i%len(ids)], key)
+		if err != nil {
+			t.Fatalf("key %s: %v (path %v)", key, err, path)
+		}
+		if got != want {
+			t.Fatalf("key %s: got %s, want %s (path %v)", key, got, want, path)
+		}
+	}
+}
+
+// TestRouteAfterChurn: routing stays correct on the re-stabilized
+// network after joins and failures.
+func TestRouteAfterChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	nw, ids, err := churn.StableNetwork(20, rng, rechord.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []churn.Event{
+		{Kind: "join", ID: ident.ID(rng.Uint64() | 1), Contact: ids[2]},
+		{Kind: "fail", ID: ids[5]},
+		{Kind: "leave", ID: ids[11]},
+	}
+	if _, err := churn.RunSequence(nw, events, 0); err != nil {
+		t.Fatal(err)
+	}
+	peers := nw.Peers()
+	for trial := 0; trial < 100; trial++ {
+		key := ident.ID(rng.Uint64())
+		want, _ := Owner(nw, key)
+		got, _, err := Route(nw, peers[rng.Intn(len(peers))], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("post-churn lookup(%s) = %s, want %s", key, got, want)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package sim runs Re-Chord networks to convergence and records the
+// per-round metrics the paper's evaluation (Section 5) reports: the
+// number of rounds to the stable and "almost stable" states, and the
+// evolution of edge and node counts.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rechord"
+)
+
+// RoundMetrics captures the network state at the start of a round.
+type RoundMetrics struct {
+	Round           int
+	RealNodes       int
+	VirtualNodes    int // virtual nodes only (levels >= 1)
+	UnmarkedEdges   int
+	RingEdges       int
+	ConnectionEdges int
+	Messages        int // messages generated during this round
+}
+
+// NormalEdges returns the paper's "normal edges": every edge except
+// the connection edges.
+func (m RoundMetrics) NormalEdges() int { return m.UnmarkedEdges + m.RingEdges }
+
+// TotalEdges returns all edges of all kinds.
+func (m RoundMetrics) TotalEdges() int { return m.NormalEdges() + m.ConnectionEdges }
+
+// TotalNodes returns real plus virtual nodes.
+func (m RoundMetrics) TotalNodes() int { return m.RealNodes + m.VirtualNodes }
+
+// Options configures a run.
+type Options struct {
+	// MaxRounds bounds the run; 0 means a generous default derived
+	// from the network size (the paper's bound is O(n log n)).
+	MaxRounds int
+	// TrackSeries records RoundMetrics for every round.
+	TrackSeries bool
+	// Ideal, when set, is used to detect the "almost stable" state.
+	Ideal *rechord.Ideal
+}
+
+// Result reports a run's outcome.
+type Result struct {
+	// Stable reports whether a global fixed point was reached within
+	// MaxRounds.
+	Stable bool
+	// Rounds is the number of rounds until the fixed point (the round
+	// after which the state stopped changing), or MaxRounds if not
+	// stable.
+	Rounds int
+	// AlmostStableRound is the first round after which every desired
+	// edge existed; -1 if never observed (or no Ideal given).
+	AlmostStableRound int
+	// TotalMessages counts all messages across the run.
+	TotalMessages int
+	// Final is the metrics snapshot of the converged state.
+	Final RoundMetrics
+	// Series holds per-round metrics when requested.
+	Series []RoundMetrics
+}
+
+// DefaultMaxRounds returns the run bound for n peers: comfortably
+// above the paper's O(n log n) bound with a floor for small n.
+func DefaultMaxRounds(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	log := 1
+	for v := n; v > 1; v >>= 1 {
+		log++
+	}
+	r := 40*n*log + 200
+	return r
+}
+
+// Measure computes the current metrics of the network.
+func Measure(nw *rechord.Network) RoundMetrics {
+	g := nw.Graph()
+	return RoundMetrics{
+		Round:           nw.Round(),
+		RealNodes:       nw.NumPeers(),
+		VirtualNodes:    g.NumNodes() - nw.NumPeers(),
+		UnmarkedEdges:   g.NumEdges(graph.Unmarked),
+		RingEdges:       g.NumEdges(graph.Ring),
+		ConnectionEdges: g.NumEdges(graph.Connection),
+	}
+}
+
+// Run executes rounds until the global state reaches a fixed point or
+// the round bound is hit.
+func Run(nw *rechord.Network, opt Options) Result {
+	maxRounds := opt.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds(nw.NumPeers())
+	}
+	res := Result{AlmostStableRound: -1}
+	start := nw.Round() // rounds are counted relative to this run
+	prev := nw.TakeSnapshot()
+	for r := 0; r < maxRounds; r++ {
+		if opt.TrackSeries {
+			m := Measure(nw)
+			res.Series = append(res.Series, m)
+		}
+		stats := nw.Step()
+		res.TotalMessages += stats.MessagesSent
+		if opt.TrackSeries {
+			res.Series[len(res.Series)-1].Messages = stats.MessagesSent
+		}
+		if res.AlmostStableRound < 0 && opt.Ideal != nil && opt.Ideal.AlmostStable(nw) {
+			res.AlmostStableRound = nw.Round() - start
+		}
+		cur := nw.TakeSnapshot()
+		if cur.Equal(prev) {
+			res.Stable = true
+			// The state was already fixed before this (unchanged) round.
+			res.Rounds = nw.Round() - 1 - start
+			res.Final = Measure(nw)
+			return res
+		}
+		prev = cur
+	}
+	res.Rounds = nw.Round() - start
+	res.Final = Measure(nw)
+	return res
+}
+
+// RunToStable is Run with a hard failure when the network does not
+// stabilize, for tests and experiments that require convergence.
+func RunToStable(nw *rechord.Network, opt Options) (Result, error) {
+	res := Run(nw, opt)
+	if !res.Stable {
+		return res, fmt.Errorf("sim: network of %d peers did not stabilize within %d rounds",
+			nw.NumPeers(), nw.Round())
+	}
+	return res, nil
+}

@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if !almost(s.Std, math.Sqrt(2.5), 1e-12) {
+		t.Errorf("Std = %v, want sqrt(2.5)", s.Std)
+	}
+}
+
+func TestSummarizeEdge(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Error("empty sample must yield zero Summary")
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Errorf("singleton Summarize = %+v", s)
+	}
+	s = Summarize([]float64{1, 2})
+	if s.Median != 1.5 {
+		t.Errorf("even-length median = %v, want 1.5", s.Median)
+	}
+}
+
+func TestSummarizeBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.Min <= s.Median && s.Median <= s.Max && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if p := Percentile(xs, 50); p != 50 {
+		t.Errorf("P50 = %v, want 50", p)
+	}
+	if p := Percentile(xs, 0); p != 10 {
+		t.Errorf("P0 = %v, want 10", p)
+	}
+	if p := Percentile(xs, 100); p != 100 {
+		t.Errorf("P100 = %v, want 100", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Errorf("empty percentile = %v, want 0", p)
+	}
+}
+
+func TestFitShapeExact(t *testing.T) {
+	ns := []float64{8, 16, 32, 64, 128}
+	// y = 3 n log2 n exactly.
+	ys := make([]float64, len(ns))
+	for i, n := range ns {
+		ys[i] = 3 * n * math.Log2(n)
+	}
+	best, err := BestFit(ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Shape.Name != "n log n" {
+		t.Errorf("BestFit shape = %s, want n log n (R2 %v)", best.Shape.Name, best.R2)
+	}
+	if !almost(best.C, 3, 1e-9) {
+		t.Errorf("C = %v, want 3", best.C)
+	}
+	if !almost(best.R2, 1, 1e-9) {
+		t.Errorf("R2 = %v, want 1", best.R2)
+	}
+}
+
+func TestFitDistinguishesLogarithms(t *testing.T) {
+	ns := []float64{8, 16, 32, 64, 128, 256}
+	ys := make([]float64, len(ns))
+	for i, n := range ns {
+		l := math.Log2(n)
+		ys[i] = 0.7 * l * l
+	}
+	best, err := BestFit(ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Shape.Name != "log^2 n" {
+		t.Errorf("BestFit = %s, want log^2 n", best.Shape.Name)
+	}
+}
+
+func TestFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ns := []float64{5, 15, 25, 35, 45, 65, 85, 105}
+	ys := make([]float64, len(ns))
+	for i, n := range ns {
+		ys[i] = 2*n + rng.Float64()*n*0.1
+	}
+	best, err := BestFit(ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Shape.Name != "n" && best.Shape.Name != "n log n" {
+		t.Errorf("noisy linear data fit %s", best.Shape.Name)
+	}
+}
+
+func TestBestFitErrors(t *testing.T) {
+	if _, err := BestFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point must error")
+	}
+	if _, err := BestFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestGrowthExponent(t *testing.T) {
+	ns := []float64{10, 20, 40, 80, 160}
+	ys := make([]float64, len(ns))
+	for i, n := range ns {
+		ys[i] = 5 * math.Pow(n, 1.5)
+	}
+	p, err := GrowthExponent(ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p, 1.5, 1e-9) {
+		t.Errorf("exponent = %v, want 1.5", p)
+	}
+}
+
+func TestGrowthExponentSublinear(t *testing.T) {
+	ns := []float64{8, 16, 32, 64, 128}
+	ys := make([]float64, len(ns))
+	for i, n := range ns {
+		ys[i] = 4 * math.Log2(n)
+	}
+	p, err := GrowthExponent(ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p >= 1 {
+		t.Errorf("log growth exponent = %v, want < 1 (sublinear)", p)
+	}
+}
+
+func TestGrowthExponentErrors(t *testing.T) {
+	if _, err := GrowthExponent([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point must error")
+	}
+	if _, err := GrowthExponent([]float64{-1, -2}, []float64{1, 2}); err == nil {
+		t.Error("nonpositive inputs must error")
+	}
+	if _, err := GrowthExponent([]float64{5, 5}, []float64{1, 2}); err == nil {
+		t.Error("degenerate x must error")
+	}
+}

@@ -1,0 +1,232 @@
+// Package topogen builds initial network states for the experiments:
+// the paper's "random undirected weakly connected graph" initialization
+// (Section 5) plus a collection of adversarial weakly connected states
+// that exercise self-stabilization from structured corners (lines,
+// stars, cliques, bridged partitions) and garbage states with stale
+// virtual nodes and arbitrary edge markings.
+package topogen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/ident"
+	"repro/internal/rechord"
+	"repro/internal/ref"
+)
+
+// RandomIDs draws n distinct identifiers uniformly at random, the
+// paper's id assignment ("chosen uniformly at random from (0,1)").
+func RandomIDs(n int, rng *rand.Rand) []ident.ID {
+	seen := make(map[ident.ID]bool, n)
+	out := make([]ident.ID, 0, n)
+	for len(out) < n {
+		id := ident.ID(rng.Uint64())
+		if id == 0 || seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	return out
+}
+
+// Generator produces an initial network over the given peer ids. The
+// produced state must leave the real nodes weakly connected; anything
+// else about it may be arbitrary.
+type Generator struct {
+	Name  string
+	Build func(ids []ident.ID, rng *rand.Rand, cfg rechord.Config) *rechord.Network
+}
+
+// Random is the paper's initialization: a random spanning tree over
+// the peers (guaranteeing weak connectivity) plus extra random edges,
+// all unmarked, attached to the peers' real nodes.
+func Random() Generator {
+	return Generator{Name: "random", Build: buildRandom}
+}
+
+func buildRandom(ids []ident.ID, rng *rand.Rand, cfg rechord.Config) *rechord.Network {
+	nw := rechord.NewNetwork(cfg)
+	for _, id := range ids {
+		nw.AddPeer(id)
+	}
+	// Random spanning tree: attach each node to a random earlier node
+	// with a random direction, mirroring an undirected random graph.
+	perm := rng.Perm(len(ids))
+	for i := 1; i < len(ids); i++ {
+		a, b := ids[perm[i]], ids[perm[rng.Intn(i)]]
+		if rng.Intn(2) == 0 {
+			a, b = b, a
+		}
+		nw.SeedEdge(ref.Real(a), ref.Real(b), graph.Unmarked)
+	}
+	// Extra random edges: about one per node.
+	for i := 0; i < len(ids); i++ {
+		a, b := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+		if a != b {
+			nw.SeedEdge(ref.Real(a), ref.Real(b), graph.Unmarked)
+		}
+	}
+	return nw
+}
+
+// Line connects the peers in one directed chain in random order: the
+// worst case for linearization-style protocols.
+func Line() Generator {
+	return Generator{Name: "line", Build: func(ids []ident.ID, rng *rand.Rand, cfg rechord.Config) *rechord.Network {
+		nw := rechord.NewNetwork(cfg)
+		for _, id := range ids {
+			nw.AddPeer(id)
+		}
+		perm := rng.Perm(len(ids))
+		for i := 1; i < len(ids); i++ {
+			nw.SeedEdge(ref.Real(ids[perm[i-1]]), ref.Real(ids[perm[i]]), graph.Unmarked)
+		}
+		return nw
+	}}
+}
+
+// Star connects every peer to one random center, which knows nobody.
+func Star() Generator {
+	return Generator{Name: "star", Build: func(ids []ident.ID, rng *rand.Rand, cfg rechord.Config) *rechord.Network {
+		nw := rechord.NewNetwork(cfg)
+		for _, id := range ids {
+			nw.AddPeer(id)
+		}
+		center := ids[rng.Intn(len(ids))]
+		for _, id := range ids {
+			if id != center {
+				nw.SeedEdge(ref.Real(id), ref.Real(center), graph.Unmarked)
+			}
+		}
+		return nw
+	}}
+}
+
+// Clique gives every peer an edge to every other peer: maximal initial
+// degree, stressing the pruning rules.
+func Clique() Generator {
+	return Generator{Name: "clique", Build: func(ids []ident.ID, rng *rand.Rand, cfg rechord.Config) *rechord.Network {
+		nw := rechord.NewNetwork(cfg)
+		for _, id := range ids {
+			nw.AddPeer(id)
+		}
+		for _, a := range ids {
+			for _, b := range ids {
+				if a != b {
+					nw.SeedEdge(ref.Real(a), ref.Real(b), graph.Unmarked)
+				}
+			}
+		}
+		return nw
+	}}
+}
+
+// BridgedPartitions splits the peers into k id-contiguous groups,
+// wires each group densely, and joins consecutive groups by a single
+// bridge edge — the "network partition healed by one link" scenario
+// from the introduction.
+func BridgedPartitions(k int) Generator {
+	return Generator{Name: fmt.Sprintf("bridged-%d", k), Build: func(ids []ident.ID, rng *rand.Rand, cfg rechord.Config) *rechord.Network {
+		nw := rechord.NewNetwork(cfg)
+		sorted := append([]ident.ID(nil), ids...)
+		ident.Sort(sorted)
+		for _, id := range sorted {
+			nw.AddPeer(id)
+		}
+		groups := k
+		if groups < 1 {
+			groups = 1
+		}
+		if groups > len(sorted) {
+			groups = len(sorted)
+		}
+		size := (len(sorted) + groups - 1) / groups
+		var prevRep ident.ID
+		for g := 0; g*size < len(sorted); g++ {
+			lo, hi := g*size, (g+1)*size
+			if hi > len(sorted) {
+				hi = len(sorted)
+			}
+			grp := sorted[lo:hi]
+			for i := 1; i < len(grp); i++ {
+				nw.SeedEdge(ref.Real(grp[i-1]), ref.Real(grp[i]), graph.Unmarked)
+				nw.SeedEdge(ref.Real(grp[rng.Intn(i)]), ref.Real(grp[i]), graph.Unmarked)
+			}
+			if g > 0 {
+				nw.SeedEdge(ref.Real(prevRep), ref.Real(grp[0]), graph.Unmarked)
+			}
+			prevRep = grp[len(grp)-1]
+		}
+		return nw
+	}}
+}
+
+// Garbage produces a hostile but weakly connected state: a random
+// spanning tree whose edges are randomly marked as unmarked, ring or
+// connection edges, attached to random (possibly absurd) virtual
+// levels, plus stale virtual nodes with random neighborhoods and
+// dangling references to nonexistent peers.
+func Garbage() Generator {
+	return Generator{Name: "garbage", Build: func(ids []ident.ID, rng *rand.Rand, cfg rechord.Config) *rechord.Network {
+		nw := rechord.NewNetwork(cfg)
+		for _, id := range ids {
+			nw.AddPeer(id)
+		}
+		kinds := graph.Kinds()
+		randRef := func(id ident.ID) ref.Ref {
+			return ref.Virtual(id, rng.Intn(8))
+		}
+		perm := rng.Perm(len(ids))
+		for i := 1; i < len(ids); i++ {
+			a, b := ids[perm[i]], ids[perm[rng.Intn(i)]]
+			nw.SeedEdge(randRef(a), randRef(b), kinds[rng.Intn(len(kinds))])
+		}
+		// Stale virtual nodes with junk neighborhoods: edges to random
+		// peers at random levels and to peers that do not exist.
+		for _, id := range ids {
+			for j := 0; j < 3; j++ {
+				tgt := ids[rng.Intn(len(ids))]
+				nw.SeedEdge(randRef(id), randRef(tgt), kinds[rng.Intn(len(kinds))])
+			}
+			// Dangling reference to a nonexistent peer.
+			nw.SeedEdge(ref.Real(id), ref.Real(ident.ID(rng.Uint64())|1), graph.Unmarked)
+		}
+		return nw
+	}}
+}
+
+// PreStabilized builds the network already in its stable state (via
+// one oracle-seeded convergence would be circular, so it seeds the
+// ideal topology directly). Used to measure join/leave recovery from a
+// stable base and to verify the stable state is a fixed point.
+func PreStabilized() Generator {
+	return Generator{Name: "prestabilized", Build: func(ids []ident.ID, rng *rand.Rand, cfg rechord.Config) *rechord.Network {
+		nw := rechord.NewNetwork(cfg)
+		for _, id := range ids {
+			nw.AddPeer(id)
+		}
+		idl := rechord.ComputeIdeal(ids)
+		for _, x := range idl.Nodes() {
+			nu := idl.Nu(x)
+			for _, y := range nu.Slice() {
+				nw.SeedEdge(x, y, graph.Unmarked)
+			}
+		}
+		nodes := idl.Nodes()
+		if len(nodes) > 1 {
+			mn, mx := nodes[0], nodes[len(nodes)-1]
+			nw.SeedEdge(mx, mn, graph.Ring)
+			nw.SeedEdge(mn, mx, graph.Ring)
+		}
+		return nw
+	}}
+}
+
+// All returns every generator, for sweep experiments. k for
+// BridgedPartitions defaults to 3.
+func All() []Generator {
+	return []Generator{Random(), Line(), Star(), Clique(), BridgedPartitions(3), Garbage()}
+}
