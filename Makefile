@@ -1,0 +1,44 @@
+# Development entry points for the Re-Chord reproduction. CI runs the
+# same commands (see .github/workflows/ci.yml), so a green `make lint
+# test` locally means a green gate.
+
+GO ?= go
+
+# Benchmarks whose trajectory is tracked across PRs in BENCH_rounds.json:
+# the round-engine hot path (steady-state Step, incremental vs full
+# sweep), the per-round cost at the paper's scale, and fixed-point
+# detection.
+ROUND_BENCH := BenchmarkStepSteadyState|BenchmarkRound$$|BenchmarkSnapshot|BenchmarkChurnRecoveryLarge
+
+.PHONY: all test test-short lint vet fmt bench bench-json clean
+
+all: lint test
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+test-short:
+	$(GO) build ./...
+	$(GO) test -race -short ./...
+
+lint: fmt vet
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# bench-json records the round-engine benchmarks as machine-diffable
+# JSON (name, ns/op, allocs/op, custom metrics) in BENCH_rounds.json.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(ROUND_BENCH)' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_rounds.json
+	@echo wrote BENCH_rounds.json
+
+clean:
+	$(GO) clean -testcache

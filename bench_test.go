@@ -267,6 +267,86 @@ func BenchmarkRound(b *testing.B) {
 	}
 }
 
+// steadyCache shares expensive steady-state setups across the bench
+// framework's repeated invocations of the same sub-benchmark.
+var steadyCache = map[string]*rechord.Network{}
+
+// steadyNet returns a network of n peers at (or, for the full sweep,
+// within a few rounds of) its fixed point. The incremental engine is
+// run to quiescence; the full-sweep engine is stepped a fixed prefix,
+// because driving it to the exact fixed point via snapshot comparison
+// at these sizes is precisely the cost this benchmark family exists to
+// retire.
+func steadyNet(b *testing.B, n int, full bool) *rechord.Network {
+	key := fmt.Sprintf("%d/%v", n, full)
+	if nw, ok := steadyCache[key]; ok {
+		return nw
+	}
+	rng := rand.New(rand.NewSource(1))
+	ids := topogen.RandomIDs(n, rng)
+	nw := topogen.PreStabilized().Build(ids, rng, rechord.Config{FullSweep: full})
+	if full {
+		for i := 0; i < 12; i++ {
+			nw.Step()
+		}
+	} else if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	steadyCache[key] = nw
+	return nw
+}
+
+// BenchmarkStepSteadyState measures the engine's hot path — one
+// synchronous round at steady state — for the incremental
+// (activity-tracked) schedule against the exhaustive full sweep. This
+// is the benchmark bench-json records across PRs: the incremental
+// engine's quiescent rounds must stay orders of magnitude cheaper and
+// allocation-free.
+func BenchmarkStepSteadyState(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		full bool
+	}{
+		{"incremental", false},
+		{"fullsweep", true},
+	} {
+		for _, n := range []int{512, 2048} {
+			b.Run(fmt.Sprintf("%s/n=%d", mode.name, n), func(b *testing.B) {
+				nw := steadyNet(b, n, mode.full)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					nw.Step()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkChurnRecoveryLarge measures absorbing one crash failure in
+// a quiescent N=1024 network — the incremental engine wakes only the
+// failed peer's neighborhood.
+func BenchmarkChurnRecoveryLarge(b *testing.B) {
+	const n = 1024
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rng := rand.New(rand.NewSource(int64(i)))
+		ids := topogen.RandomIDs(n, rng)
+		nw := topogen.PreStabilized().Build(ids, rng, rechord.Config{})
+		if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		victim := ids[rng.Intn(len(ids))]
+		b.StartTimer()
+		if err := nw.Fail(victim); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSnapshot measures fixed-point detection (full-state deep
 // compare), the other engine hot path.
 func BenchmarkSnapshot(b *testing.B) {

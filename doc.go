@@ -3,9 +3,10 @@
 // Scheideler; SPAA 2011).
 //
 // The core protocol lives in internal/rechord; see README.md for the
-// architecture, DESIGN.md for the system inventory and experiment
-// index, and EXPERIMENTS.md for paper-vs-measured results. The
+// architecture and DESIGN.md for the system inventory, the
+// activity-tracked round engine, and the experiment index. The
 // benchmarks in bench_test.go regenerate every figure of the paper's
-// evaluation; the binaries under cmd/ and the programs under examples/
-// exercise the public API end to end.
+// evaluation and track the engine's hot path (see BENCH_rounds.json);
+// the binaries under cmd/ and the programs under examples/ exercise
+// the public API end to end.
 package repro

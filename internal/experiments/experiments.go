@@ -634,7 +634,6 @@ func Healing(cfg Config) (*Result, error) {
 		}
 
 		round50, round100, almostAt, stableAt := -1, -1, -1, -1
-		prev := nw.TakeSnapshot()
 		for r := 0; r < sim.DefaultMaxRounds(n); r++ {
 			nw.Step()
 			frac := measure()
@@ -647,12 +646,12 @@ func Healing(cfg Config) (*Result, error) {
 			if almostAt < 0 && idl.AlmostStable(nw) {
 				almostAt = nw.Round()
 			}
-			cur := nw.TakeSnapshot()
-			if cur.Equal(prev) {
-				stableAt = nw.Round() - 1
+			// Quiescence replaces the deep-copy snapshot comparison:
+			// an empty frontier is the global fixed point.
+			if nw.Quiescent() {
+				stableAt = nw.LastChangeRound()
 				break
 			}
-			prev = cur
 		}
 		if stableAt < 0 {
 			return nil, fmt.Errorf("experiments: healing at n=%d did not stabilize", n)

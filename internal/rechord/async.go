@@ -53,6 +53,18 @@ func NewAsyncRunner(nw *Network, cfg AsyncConfig, rng *rand.Rand) *AsyncRunner {
 	if cfg.MaxDelay < 1 {
 		cfg.MaxDelay = 1
 	}
+	// Absorb any standing flow left by synchronous rounds into one-shot
+	// deliveries: the asynchronous adversary has no repeating-output
+	// schedule, so buckets would otherwise replay stale messages.
+	for _, n := range nw.nodes {
+		if len(n.in) > 0 {
+			for _, ms := range n.in {
+				n.inbox = append(n.inbox, ms...)
+			}
+			n.in = nil
+		}
+	}
+	nw.bucketMsgs = 0
 	return &AsyncRunner{nw: nw, cfg: cfg, rng: rng}
 }
 
@@ -82,8 +94,11 @@ func (a *AsyncRunner) Step() int {
 	}
 	a.pending = keep
 
-	nw.snapshotLevels()
-	view := nw.buildView()
+	// The asynchronous runner bypasses the synchronous scheduler, so
+	// the level and published-state caches are refreshed wholesale to
+	// whatever the peers' states happen to be at this step.
+	nw.rebuildLevels()
+	nw.rebuildView()
 	activated := 0
 	for _, id := range nw.order {
 		if a.rng.Float64() >= a.cfg.ActivationProb {
@@ -93,7 +108,7 @@ func (a *AsyncRunner) Step() int {
 		n := nw.nodes[id]
 		nw.deliver(n)
 		nw.purge(n)
-		res := nw.runRules(n, view)
+		res := nw.runRules(n, nil)
 		n.lastOut = res.out
 		for _, msg := range res.out {
 			a.pending = append(a.pending, delayedMessage{

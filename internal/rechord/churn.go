@@ -11,7 +11,8 @@ import (
 // Join inserts a new peer that initially knows exactly one existing
 // peer (Section 4.1: "a peer connects to one peer in the network").
 // The network integrates it within O(log^2 n) rounds from a stable
-// state (Theorem 4.1).
+// state (Theorem 4.1). The joiner enters the frontier dirty; existing
+// peers wake up as its messages reach them.
 func (nw *Network) Join(id ident.ID, contact ident.ID) error {
 	if _, ok := nw.nodes[id]; ok {
 		return fmt.Errorf("rechord: join: peer %s already present", id)
@@ -83,16 +84,46 @@ func (nw *Network) Fail(id ident.ID) error {
 	return nil
 }
 
+// removePeer deletes the peer and reconciles the scheduler state: the
+// peer's published view entries vanish, its standing output is
+// delivered exactly once more (as one-shots, matching the full-sweep
+// timeline where messages sent in the final round still arrive), and
+// every peer that references the departed identifier is woken so its
+// next purge drops the stale references.
 func (nw *Network) removePeer(id ident.ID) {
+	n := nw.nodes[id]
 	delete(nw.nodes, id)
 	nw.removeOrder(id)
 	delete(nw.levelOf, id)
+	for _, v := range n.vnodes {
+		delete(nw.view, v.Self)
+	}
+	// The buckets stored on the departed peer die with it.
+	for _, ms := range n.in {
+		nw.bucketMsgs -= len(ms)
+	}
+	// Its standing flow to others becomes a final one-shot delivery.
+	for _, m := range n.lastOut {
+		dst, ok := nw.nodes[m.To.Owner]
+		if !ok {
+			continue
+		}
+		if ms, ok := dst.in[id]; ok {
+			dst.inbox = append(dst.inbox, ms...)
+			nw.bucketMsgs -= len(ms)
+			delete(dst.in, id)
+			nw.markDirty(m.To.Owner)
+		}
+	}
+	nw.wakeDependents(map[ident.ID]bool{id: true}, nil)
 }
 
-// routeMessage enqueues a message directly (used by graceful leave,
-// whose goodbyes are delivered like any other delayed assignment).
+// routeMessage enqueues a one-shot message directly (used by graceful
+// leave, whose goodbyes are delivered like any other delayed
+// assignment) and wakes the recipient.
 func (nw *Network) routeMessage(msg Message) {
 	if dst, ok := nw.nodes[msg.To.Owner]; ok {
 		dst.inbox = append(dst.inbox, msg)
+		nw.markDirty(msg.To.Owner)
 	}
 }

@@ -1,0 +1,85 @@
+// Package largescale holds convergence tests beyond the sizes the
+// rest of the suite exercises. They exist to pin down the scaling win
+// of the activity-tracked round engine: an N=4096 network is far past
+// what the exhaustive full-sweep schedule (rules at every peer every
+// round, plus a deep-copy snapshot comparison per round for fixed-point
+// detection) can finish within a test-timeout budget, while the
+// incremental engine settles it in seconds because the frontier
+// collapses to the still-active region and quiescence is detected in
+// O(1).
+package largescale
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/rechord"
+	"repro/internal/sim"
+	"repro/internal/topogen"
+)
+
+func TestN4096ConvergesToIdeal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("N=4096 convergence skipped with -short")
+	}
+	const n = 4096
+	rng := rand.New(rand.NewSource(4096))
+	ids := topogen.RandomIDs(n, rng)
+	nw := topogen.PreStabilized().Build(ids, rng, rechord.Config{})
+	start := time.Now()
+	res, err := sim.RunToStable(nw, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nw.Quiescent() {
+		t.Fatal("stable network not quiescent")
+	}
+	if err := rechord.ComputeIdeal(ids).Matches(nw); err != nil {
+		t.Fatalf("n=%d converged to wrong state: %v", n, err)
+	}
+	t.Logf("n=%d: settled in %d rounds, %v", n, res.Rounds, time.Since(start))
+
+	// Steady state must be free: rounds past the fixed point touch
+	// nothing (the full sweep would re-run 4096 peers each time).
+	start = time.Now()
+	const extra = 1000
+	for i := 0; i < extra; i++ {
+		nw.Step()
+	}
+	perRound := time.Since(start) / extra
+	t.Logf("quiescent round cost: %v", perRound)
+	if nw.FrontierSize() != 0 {
+		t.Fatal("quiescent rounds re-dirtied peers")
+	}
+}
+
+// TestN1024ChurnAbsorbedLocally: a single failure in a quiescent
+// N=1024 network must wake only a small neighborhood, not the whole
+// ring, and the network must return to the exact ideal state.
+func TestN1024ChurnAbsorbedLocally(t *testing.T) {
+	if testing.Short() {
+		t.Skip("N=1024 churn test skipped with -short")
+	}
+	const n = 1024
+	rng := rand.New(rand.NewSource(1024))
+	ids := topogen.RandomIDs(n, rng)
+	nw := topogen.PreStabilized().Build(ids, rng, rechord.Config{})
+	if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Fail(ids[n/2]); err != nil {
+		t.Fatal(err)
+	}
+	woken := nw.FrontierSize()
+	if woken == 0 || woken > n/4 {
+		t.Errorf("failure woke %d peers, want a small local neighborhood (0 < woken <= %d)", woken, n/4)
+	}
+	if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rechord.ComputeIdeal(nw.Peers()).Matches(nw); err != nil {
+		t.Fatalf("wrong state after failure: %v", err)
+	}
+	t.Logf("failure woke %d/%d peers", woken, n)
+}

@@ -14,6 +14,10 @@ import "repro/internal/ident"
 // outgoing messages repeat, every inbox repeats, so the global state
 // repeats; and since the rules are deterministic, a global fixed point
 // makes every local replay a no-op.
+//
+// The incremental scheduler in network.go is this predicate turned
+// into an execution strategy: a peer is skipped exactly while the
+// replay is known to be a no-op because none of its inputs changed.
 
 // LocallyStable reports whether the peer is at a local fixed point:
 // delivering its pending messages and executing the rules would leave
@@ -27,18 +31,16 @@ func (nw *Network) LocallyStable(id ident.ID) bool {
 		return false
 	}
 	clone := n.clone()
-	nw.snapshotLevels()
 	nw.deliver(clone)
 	nw.purge(clone)
-	res := nw.runRules(clone, nw.buildView())
+	res := nw.runRules(clone, nil)
 
-	// The replayed state must match the current one (the pending
-	// inbox is part of the state; after a no-op round the peer's sets
-	// must look exactly as they do now).
-	stripped := n.clone()
-	stripped.inbox = nil
-	clone.inbox = nil
-	if !clone.equal(stripped) {
+	// The replayed state must match the current one: after a no-op
+	// round the peer's sets must look exactly as they do now. The
+	// pending inbox is input, not part of the compared state (the
+	// standing buckets regenerate from the neighbors' repeated
+	// outputs).
+	if !n.vnodesEqual(clone.vnodes) {
 		return false
 	}
 	// The regenerated output must match what the peer actually sent

@@ -64,6 +64,7 @@ func TestLocalCheckDetectsPerturbation(t *testing.T) {
 		t.Fatal("victim has empty neighborhood")
 	}
 	v.Nu.Remove(target)
+	nw.Wake(ids[4]) // out-of-band mutation: tell the scheduler
 	if nw.LocallyStable(ids[4]) {
 		t.Fatal("peer with damaged neighborhood passes the local check")
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/ident"
@@ -24,6 +25,14 @@ type Config struct {
 	// their own state plus an immutable snapshot, and all cross-node
 	// effects are delayed messages merged at the round barrier.
 	Workers int
+	// FullSweep disables the activity-tracked scheduler and runs rules
+	// 1-6 at every peer every round, the paper's literal execution
+	// model. The default incremental schedule produces the identical
+	// round-by-round global state (see DESIGN.md for the argument and
+	// the lockstep property test for the proof-by-execution); FullSweep
+	// keeps the exhaustive schedule available as the equivalence
+	// baseline and for debugging.
+	FullSweep bool
 }
 
 // RoundStats reports what happened during one Step.
@@ -34,20 +43,73 @@ type RoundStats struct {
 	VirtualKilled int
 }
 
+// viewEntry is one virtual node's published rl/rr state, readable by
+// other peers' rule-3 guards (the state-reading model). The zero value
+// means "nothing published".
+type viewEntry struct {
+	rl, rr       ref.Ref
+	hasRL, hasRR bool
+}
+
+// publish extracts the published tuple of a virtual node, normalized
+// so that unset sides carry a zero ref and absent == zero entry.
+func publish(v *VNode) viewEntry {
+	var e viewEntry
+	if v.HasRL {
+		e.hasRL, e.rl = true, v.RL
+	}
+	if v.HasRR {
+		e.hasRR, e.rr = true, v.RR
+	}
+	return e
+}
+
 // Network is the synchronous-round simulation of a Re-Chord system:
 // the set of peers, their virtual nodes and edge sets, and the message
 // queues between rounds. It implements the standard synchronous
 // message-passing model of Section 2.1.
+//
+// Step runs an activity-tracked (dirty-set) schedule: only peers whose
+// inputs changed since their last execution run rules 1-6; peers at a
+// local fixed point are skipped entirely, and their repeating output
+// flow is represented by the standing per-sender inbox buckets (see
+// RealNode.in). A network with an empty frontier is quiescent: Step
+// degenerates to a counter increment, giving O(1) fixed-point
+// detection.
 type Network struct {
 	cfg   Config
 	nodes map[ident.ID]*RealNode
 	order []ident.ID // sorted, for deterministic iteration
 	round int
 
-	// levelOf snapshots each peer's current max level at the start of
-	// a round so that stale references to deleted virtual nodes can be
-	// detected (see purge).
+	// levelOf tracks each peer's current max level, maintained
+	// incrementally (AddPeer, SeedEdge, round barrier, removePeer), so
+	// that stale references to deleted virtual nodes can be detected
+	// (see purge) without a per-round sweep.
 	levelOf map[ident.ID]int
+
+	// view is the published rl/rr state of every virtual node that has
+	// one, maintained incrementally at round barriers. Rules read it
+	// concurrently during the parallel phase; it is only written
+	// between phases.
+	view map[ref.Ref]viewEntry
+
+	// frontier lists peers whose dirty flag is set. Entries may be
+	// stale (peer departed, or re-collected); Step filters by the flag.
+	frontier []ident.ID
+
+	// lastChange is the most recent round whose execution changed the
+	// global state, the quantity convergence experiments report.
+	lastChange int
+
+	// bucketMsgs counts the messages across all standing buckets: the
+	// per-round message flow of the current schedule.
+	bucketMsgs int
+
+	pool    *workerPool
+	active  []ident.ID
+	results []nodeResult
+	pres    []map[int]*VNode
 }
 
 // NewNetwork creates an empty network.
@@ -56,6 +118,7 @@ func NewNetwork(cfg Config) *Network {
 		cfg:     cfg,
 		nodes:   make(map[ident.ID]*RealNode),
 		levelOf: make(map[ident.ID]int),
+		view:    make(map[ref.Ref]viewEntry),
 	}
 }
 
@@ -68,6 +131,31 @@ func (nw *Network) AddPeer(id ident.ID) *RealNode {
 	n := &RealNode{id: id, vnodes: map[int]*VNode{0: newVNode(id, 0)}}
 	nw.nodes[id] = n
 	nw.insertOrder(id)
+	nw.levelOf[id] = 0
+	nw.markDirty(id)
+	if nw.round > 0 {
+		// Re-materialize standing flow addressed to this identifier: a
+		// peer re-joining under an id that live senders still target
+		// must see their repeating messages, exactly as a full sweep
+		// would re-deliver them. Peers that merely hold stale
+		// references to the id behave differently now that it resolves
+		// again, so they are woken too.
+		for sid, s := range nw.nodes {
+			if sid == id {
+				continue
+			}
+			for _, m := range s.lastOut {
+				if m.To.Owner == id {
+					if n.in == nil {
+						n.in = make(map[ident.ID][]Message)
+					}
+					n.in[sid] = append(n.in[sid], m)
+					nw.bucketMsgs++
+				}
+			}
+		}
+		nw.wakeDependents(map[ident.ID]bool{id: true}, nil)
+	}
 	return n
 }
 
@@ -90,6 +178,63 @@ func (nw *Network) removeOrder(id ident.ID) {
 	}
 }
 
+// markDirty puts the peer on the frontier: its inputs (inbox, purge
+// environment, or published neighbor state) may have changed, so the
+// next Step must run its rules.
+func (nw *Network) markDirty(id ident.ID) {
+	if n, ok := nw.nodes[id]; ok && !n.dirty {
+		n.dirty = true
+		nw.frontier = append(nw.frontier, id)
+	}
+}
+
+// Wake schedules the peer to run in the next round. State reached
+// through the public API (Step, Join, Leave, Fail, SeedEdge) wakes the
+// affected peers automatically; callers that mutate a peer's state out
+// of band (fault injection, perturbation tests) must Wake it so the
+// activity scheduler notices the change.
+func (nw *Network) Wake(id ident.ID) { nw.markDirty(id) }
+
+// Quiescent reports whether the frontier is empty: no peer's inputs
+// have changed since it last reached a local fixed point. A quiescent
+// network is at the global fixed point, and every further Step is the
+// identity on the global state.
+func (nw *Network) Quiescent() bool {
+	for _, id := range nw.frontier {
+		if n, ok := nw.nodes[id]; ok && n.dirty {
+			return false
+		}
+	}
+	return true
+}
+
+// FrontierSize returns the number of peers currently scheduled to run
+// in the next round. Stale frontier entries (a peer that departed
+// while dirty and rejoined under the same identifier) are deduplicated
+// the same way Step's collection pass is.
+func (nw *Network) FrontierSize() int {
+	seen := make(map[ident.ID]bool, len(nw.frontier))
+	c := 0
+	for _, id := range nw.frontier {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if n, ok := nw.nodes[id]; ok && n.dirty {
+			c++
+		}
+	}
+	return c
+}
+
+// Incremental reports whether the activity-tracked scheduler is in
+// effect (false under Config.FullSweep).
+func (nw *Network) Incremental() bool { return !nw.cfg.FullSweep }
+
+// LastChangeRound returns the most recent round whose execution
+// changed the global state (0 if no round changed anything yet).
+func (nw *Network) LastChangeRound() int { return nw.lastChange }
+
 // SeedEdge gives the peer owning `from` initial knowledge of `to` as an
 // edge of the kind, creating the source virtual node if needed. Used to
 // build arbitrary initial states.
@@ -102,6 +247,9 @@ func (nw *Network) SeedEdge(from, to ref.Ref, k graph.Kind) {
 	if !ok {
 		v = newVNode(from.Owner, from.Level)
 		n.vnodes[from.Level] = v
+		if from.Level > nw.levelOf[from.Owner] {
+			nw.levelOf[from.Owner] = from.Level
+		}
 	}
 	switch k {
 	case graph.Unmarked:
@@ -111,6 +259,7 @@ func (nw *Network) SeedEdge(from, to ref.Ref, k graph.Kind) {
 	case graph.Connection:
 		v.addNc(to)
 	}
+	nw.markDirty(from.Owner)
 }
 
 // Peers returns the identifiers of all real nodes in increasing order.
@@ -127,14 +276,27 @@ func (nw *Network) NumPeers() int { return len(nw.nodes) }
 // Round returns the number of rounds executed so far.
 func (nw *Network) Round() int { return nw.round }
 
-// snapshotLevels records each peer's simulated levels for stale-ref
-// detection during this round.
-func (nw *Network) snapshotLevels() {
-	for id := range nw.levelOf {
-		delete(nw.levelOf, id)
-	}
+// rebuildLevels recomputes levelOf from scratch. The synchronous
+// engine maintains it incrementally; the asynchronous runner and the
+// white-box rule fixtures refresh it wholesale before reading.
+func (nw *Network) rebuildLevels() {
+	clear(nw.levelOf)
 	for id, n := range nw.nodes {
 		nw.levelOf[id] = n.MaxLevel()
+	}
+}
+
+// rebuildView recomputes the published rl/rr view from scratch (see
+// rebuildLevels for when this is needed instead of the incremental
+// maintenance).
+func (nw *Network) rebuildView() {
+	clear(nw.view)
+	for _, n := range nw.nodes {
+		for _, v := range n.vnodes {
+			if e := publish(v); e != (viewEntry{}) {
+				nw.view[v.Self] = e
+			}
+		}
 	}
 }
 
@@ -185,14 +347,16 @@ func (nw *Network) purge(n *RealNode) {
 	}
 }
 
-// deliver applies the inbox of n: delayed edge insertions from last
-// round. Messages to virtual levels the peer no longer simulates are
-// merged into the closest surviving virtual node u_m, per rule 1's
-// merge semantics.
+// deliver applies the pending inbox of n: the one-shot messages (which
+// are consumed) and the standing per-sender buckets (which persist,
+// representing the senders' repeating output flow). Messages to
+// virtual levels the peer no longer simulates are merged into the
+// closest surviving virtual node u_m, per rule 1's merge semantics.
+// Delivery is a commutative, idempotent set-union, so the iteration
+// order over buckets does not matter.
 func (nw *Network) deliver(n *RealNode) {
-	for _, msg := range n.inbox {
-		lvl := msg.To.Level
-		v, ok := n.vnodes[lvl]
+	apply := func(msg Message) {
+		v, ok := n.vnodes[msg.To.Level]
 		if !ok {
 			v = n.vnodes[n.MaxLevel()]
 		}
@@ -205,104 +369,321 @@ func (nw *Network) deliver(n *RealNode) {
 			v.addNc(msg.Add)
 		}
 	}
-	n.inbox = n.inbox[:0]
-}
-
-// neighborView is the immutable published state other nodes may read
-// in guards (the state-reading model): rl/rr per node as of the round
-// start, used by rule 3's "v > rl(y)" guard.
-type neighborView struct {
-	rl, rr       map[ref.Ref]ref.Ref
-	hasRL, hasRR map[ref.Ref]bool
-}
-
-func (nw *Network) buildView() *neighborView {
-	view := &neighborView{
-		rl:    make(map[ref.Ref]ref.Ref),
-		rr:    make(map[ref.Ref]ref.Ref),
-		hasRL: make(map[ref.Ref]bool),
-		hasRR: make(map[ref.Ref]bool),
+	for _, msg := range n.inbox {
+		apply(msg)
 	}
-	for _, n := range nw.nodes {
-		for _, v := range n.vnodes {
-			if v.HasRL {
-				view.rl[v.Self] = v.RL
-				view.hasRL[v.Self] = true
-			}
-			if v.HasRR {
-				view.rr[v.Self] = v.RR
-				view.hasRR[v.Self] = true
-			}
+	n.inbox = n.inbox[:0]
+	for _, ms := range n.in {
+		for _, msg := range ms {
+			apply(msg)
 		}
 	}
-	return view
 }
 
-// Step executes one synchronous round: deliver last round's messages,
-// purge dead references, then run rules 1-6 at every peer (in parallel
-// across peers) and enqueue the generated messages for the next round.
+// workerPool is a persistent set of goroutines executing the parallel
+// rule phase, so Step does not respawn goroutines every round. The
+// workers reference only the task channel, never the Network, so the
+// Network stays collectable; a runtime cleanup closes the channel and
+// lets the workers exit when the Network is garbage collected.
+type workerPool struct {
+	tasks chan func()
+	size  int
+}
+
+func (nw *Network) ensurePool(workers int) *workerPool {
+	if nw.pool == nil {
+		p := &workerPool{tasks: make(chan func()), size: workers}
+		for i := 0; i < workers; i++ {
+			go func() {
+				for f := range p.tasks {
+					f()
+				}
+			}()
+		}
+		nw.pool = p
+		runtime.AddCleanup(nw, func(ch chan func()) { close(ch) }, p.tasks)
+	}
+	return nw.pool
+}
+
+// Step executes one synchronous round over the current frontier:
+// deliver pending messages, purge dead references, then run rules 1-6
+// at every dirty peer (in parallel) and merge the effects at the round
+// barrier. Clean peers are skipped; their state and standing output
+// are provably what a full sweep would recompute. Under
+// Config.FullSweep every peer is dirtied first, reproducing the
+// paper's literal schedule.
 func (nw *Network) Step() RoundStats {
 	nw.round++
 	stats := RoundStats{Round: nw.round}
 
-	nw.snapshotLevels()
-	for _, id := range nw.order {
+	if nw.cfg.FullSweep {
+		for _, id := range nw.order {
+			nw.markDirty(id)
+		}
+	}
+
+	// Collect the frontier into a deterministic (sorted) active list,
+	// clearing flags so that barrier-time re-dirtying schedules peers
+	// for the NEXT round.
+	active := nw.active[:0]
+	for _, id := range nw.frontier {
+		if n, ok := nw.nodes[id]; ok && n.dirty {
+			n.dirty = false
+			active = append(active, id)
+		}
+	}
+	nw.frontier = nw.frontier[:0]
+	nw.active = active
+	if len(active) == 0 {
+		// Quiescent: the round is the identity on the global state.
+		// The standing buckets are exactly the messages every peer
+		// keeps regenerating, so the per-round flow is their count.
+		stats.MessagesSent = nw.bucketMsgs
+		return stats
+	}
+	ident.Sort(active)
+
+	// Phase 1 (serial): deliver and purge the active peers, keeping a
+	// pre-round copy of their own state for the settle check.
+	settle := !nw.cfg.FullSweep
+	if cap(nw.results) < len(active) {
+		nw.results = make([]nodeResult, len(active))
+		nw.pres = make([]map[int]*VNode, len(active))
+	}
+	results := nw.results[:len(active)]
+	pres := nw.pres[:len(active)]
+	changed := false
+	for i, id := range active {
 		n := nw.nodes[id]
+		if settle {
+			pres[i] = n.cloneVNodes()
+		}
+		if len(n.inbox) > 0 {
+			// Consuming a one-shot message changes the global state
+			// even when the peer's own state ends up unchanged.
+			changed = true
+		}
 		nw.deliver(n)
 		nw.purge(n)
 	}
-	view := nw.buildView()
 
+	// Phase 2 (parallel): run rules 1-6 on the active peers. Each peer
+	// reads only its own state and the immutable view of published
+	// rl/rr values, so execution order is irrelevant.
 	workers := nw.cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(nw.order) {
-		workers = len(nw.order)
+	// The pool is sized once from the configured parallelism, not from
+	// this round's frontier, so a small first round does not cap later
+	// large rounds.
+	poolSize := workers
+	if workers > len(active) {
+		workers = len(active)
 	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	results := make([]nodeResult, len(nw.order))
-	if workers == 1 {
-		for i, id := range nw.order {
-			results[i] = nw.runRules(nw.nodes[id], view)
+	if workers <= 1 {
+		for i, id := range active {
+			n := nw.nodes[id]
+			results[i] = nw.runRules(n, n.scratch.out[:0])
 		}
 	} else {
-		var wg sync.WaitGroup
-		next := make(chan int, len(nw.order))
-		for i := range nw.order {
-			next <- i
+		pool := nw.ensurePool(poolSize)
+		if workers > pool.size {
+			workers = pool.size
 		}
-		close(next)
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		nodes := nw.nodes
+		run := nw.runRules
 		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					results[i] = nw.runRules(nw.nodes[nw.order[i]], view)
+		task := func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(active) {
+					return
 				}
-			}()
+				n := nodes[active[i]]
+				results[i] = run(n, n.scratch.out[:0])
+			}
+		}
+		for w := 0; w < workers; w++ {
+			pool.tasks <- task
 		}
 		wg.Wait()
 	}
 
-	// Round barrier: route all messages to their destination inboxes.
-	for i, res := range results {
-		nw.nodes[nw.order[i]].lastOut = res.out
+	// Phase 3 (serial barrier): publish level and rl/rr changes, route
+	// changed outputs into the recipients' standing buckets, and settle
+	// peers whose round was a no-op.
+	var viewChanged map[ref.Ref]bool
+	var ownerChanged map[ident.ID]bool
+	for i, id := range active {
+		n := nw.nodes[id]
+		res := results[i]
 		stats.VirtualMade += res.made
 		stats.VirtualKilled += res.killed
-		for _, msg := range res.out {
-			dst, ok := nw.nodes[msg.To.Owner]
-			if !ok {
-				continue // destination departed this round
+
+		// Publish the peer's level so other peers' purges detect stale
+		// references to its deleted virtual nodes.
+		oldMax := nw.levelOf[id]
+		newMax := n.MaxLevel()
+		if newMax != oldMax {
+			nw.levelOf[id] = newMax
+			if ownerChanged == nil {
+				ownerChanged = make(map[ident.ID]bool)
 			}
-			dst.inbox = append(dst.inbox, msg)
-			stats.MessagesSent++
+			ownerChanged[id] = true
+		}
+		// Publish rl/rr changes (including entries of deleted levels).
+		for lvl := newMax + 1; lvl <= oldMax; lvl++ {
+			r := ref.Virtual(id, lvl)
+			if _, ok := nw.view[r]; ok {
+				delete(nw.view, r)
+				if viewChanged == nil {
+					viewChanged = make(map[ref.Ref]bool)
+				}
+				viewChanged[r] = true
+			}
+		}
+		for _, v := range n.vnodes {
+			cur := publish(v)
+			if old := nw.view[v.Self]; old != cur {
+				if cur == (viewEntry{}) {
+					delete(nw.view, v.Self)
+				} else {
+					nw.view[v.Self] = cur
+				}
+				if viewChanged == nil {
+					viewChanged = make(map[ref.Ref]bool)
+				}
+				viewChanged[v.Self] = true
+			}
+		}
+
+		// Route the output. Only contributions that differ from the
+		// standing buckets touch memory or wake recipients.
+		out := res.out
+		outChanged := !sameMessages(out, n.lastOut)
+		if outChanged {
+			nw.reroute(n, out)
+			changed = true
+		}
+		if settle {
+			if outChanged || !n.vnodesEqual(pres[i]) {
+				// Not a local fixed point yet: stay on the frontier.
+				nw.markDirty(id)
+				changed = true
+			}
+			pres[i] = nil
+		}
+		// lastOut takes ownership of the content; the scratch buffer is
+		// recycled for the peer's next run.
+		n.lastOut = append(n.lastOut[:0], out...)
+		n.scratch.out = out[:0]
+	}
+
+	if len(ownerChanged) > 0 || len(viewChanged) > 0 {
+		nw.wakeDependents(ownerChanged, viewChanged)
+	}
+	if changed {
+		nw.lastChange = nw.round
+	}
+	stats.MessagesSent = nw.bucketMsgs
+	return stats
+}
+
+// reroute replaces sender n's standing contributions with its new
+// output: per recipient, the bucket is rewritten (and the recipient
+// woken) only when the contribution actually changed.
+func (nw *Network) reroute(n *RealNode, out []Message) {
+	touched := make(map[ident.ID]bool, len(out)+len(n.lastOut))
+	var newBy map[ident.ID][]Message
+	if len(out) > 0 {
+		newBy = make(map[ident.ID][]Message, len(out))
+		for _, m := range out {
+			newBy[m.To.Owner] = append(newBy[m.To.Owner], m)
+			touched[m.To.Owner] = true
 		}
 	}
-	return stats
+	for _, m := range n.lastOut {
+		touched[m.To.Owner] = true
+	}
+	for dstID := range touched {
+		dst, ok := nw.nodes[dstID]
+		if !ok {
+			continue // destination departed
+		}
+		oldB := dst.in[n.id]
+		newB := newBy[dstID]
+		if sameMessages(oldB, newB) {
+			continue
+		}
+		nw.bucketMsgs += len(newB) - len(oldB)
+		if len(newB) == 0 {
+			delete(dst.in, n.id)
+		} else {
+			if dst.in == nil {
+				dst.in = make(map[ident.ID][]Message)
+			}
+			dst.in[n.id] = newB
+		}
+		nw.markDirty(dstID)
+	}
+}
+
+// wakeDependents dirties every clean peer whose behavior can depend on
+// the given changes: owners whose liveness or level set changed (their
+// references purge differently now) and refs whose published rl/rr
+// changed (rule 3's guards read them). The scan covers the peers' edge
+// sets and their pending inbox, since a standing message can carry a
+// dependent reference through a round transiently.
+func (nw *Network) wakeDependents(owners map[ident.ID]bool, refs map[ref.Ref]bool) {
+	depends := func(r ref.Ref) bool {
+		return owners[r.Owner] || refs[r]
+	}
+	for id, n := range nw.nodes {
+		if n.dirty {
+			continue
+		}
+		found := false
+	scan:
+		for _, v := range n.vnodes {
+			for _, s := range []*ref.Set{&v.Nu, &v.Nr, &v.Nc} {
+				for _, r := range s.Slice() {
+					if depends(r) {
+						found = true
+						break scan
+					}
+				}
+			}
+		}
+		if !found {
+			for _, m := range n.inbox {
+				if depends(m.Add) {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			for _, ms := range n.in {
+				for _, m := range ms {
+					if depends(m.Add) {
+						found = true
+						break
+					}
+				}
+				if found {
+					break
+				}
+			}
+		}
+		if found {
+			nw.markDirty(id)
+		}
+	}
 }
 
 // nodeResult carries one peer's delayed effects out of the parallel
@@ -368,7 +749,7 @@ func (nw *Network) Graph() *graph.Graph {
 		}
 	}
 	for _, id := range nw.order {
-		for _, msg := range nw.nodes[id].inbox {
+		for _, msg := range nw.nodes[id].inboxMessages() {
 			if msg.To != msg.Add {
 				g.AddEdge(msg.To, msg.Add, msg.Kind)
 			}

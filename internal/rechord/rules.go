@@ -8,12 +8,12 @@ import (
 
 // ruleContext carries one peer's in-round working state: the rules'
 // immediate assignments mutate the node directly, delayed assignments
-// append to out.
+// append to res.out. The scratch buffers live on the RealNode, so a
+// peer's repeated executions do not reallocate them.
 type ruleContext struct {
-	nw   *Network
-	n    *RealNode
-	view *neighborView
-	res  nodeResult
+	nw  *Network
+	n   *RealNode
+	res nodeResult
 }
 
 // send enqueues a delayed edge insertion ("A <= B"): the destination
@@ -25,11 +25,13 @@ func (c *ruleContext) send(to ref.Ref, k graph.Kind, add ref.Ref) {
 	c.res.out = append(c.res.out, Message{To: to, Kind: k, Add: add})
 }
 
-// runRules executes rules 1-6 in the paper's order for one peer. The
-// receiver only reads its own state and the immutable round-start view
-// of other nodes' published variables, so peers can run concurrently.
-func (nw *Network) runRules(n *RealNode, view *neighborView) nodeResult {
-	c := &ruleContext{nw: nw, n: n, view: view}
+// runRules executes rules 1-6 in the paper's order for one peer,
+// appending the generated messages to buf (usually the peer's
+// recycled output scratch). The receiver only reads its own state and
+// the round-start view of other nodes' published variables, so peers
+// can run concurrently.
+func (nw *Network) runRules(n *RealNode, buf []Message) nodeResult {
+	c := ruleContext{nw: nw, n: n, res: nodeResult{out: buf}}
 	c.ruleVirtualNodes()
 	c.ruleOverlappingNeighborhood()
 	c.ruleClosestRealNeighbor()
@@ -49,7 +51,8 @@ func (nw *Network) runRules(n *RealNode, view *neighborView) nodeResult {
 // neighborhoods into N_u(u_m).
 func (c *ruleContext) ruleVirtualNodes() {
 	n := c.n
-	m := ident.LevelFor(n.id, n.knownReals())
+	n.scratch.realID = n.knownRealsInto(n.scratch.realID)
+	m := ident.LevelFor(n.id, n.scratch.realID)
 	// create-virtualnodes
 	for i := 1; i <= m; i++ {
 		if _, ok := n.vnodes[i]; !ok {
@@ -84,6 +87,10 @@ func (c *ruleContext) ruleVirtualNodes() {
 			})
 		}
 	}
+	// The level set is final for this round: cache the derived orders
+	// the later rules iterate.
+	n.scratch.levels = n.levelsInto(n.scratch.levels)
+	n.scratch.sibs = n.siblingsInto(n.scratch.sibs)
 }
 
 // ruleOverlappingNeighborhood implements rule 2: if a neighbor w of
@@ -92,11 +99,12 @@ func (c *ruleContext) ruleVirtualNodes() {
 // the move is immediate.
 func (c *ruleContext) ruleOverlappingNeighborhood() {
 	n := c.n
-	sibs := n.siblings()
-	for _, level := range n.Levels() {
+	sibs := n.scratch.sibs
+	for _, level := range n.scratch.levels {
 		ui := n.vnodes[level]
 		uiID := ui.Self.ID()
-		for _, w := range append([]ref.Ref(nil), ui.Nu.Slice()...) {
+		n.scratch.snap = append(n.scratch.snap[:0], ui.Nu.Slice()...)
+		for _, w := range n.scratch.snap {
 			wID := w.ID()
 			// Find the sibling closest to w strictly between w and u_i
 			// in the linear order.
@@ -143,11 +151,18 @@ func absDiff(a, b ident.ID) uint64 {
 // over their published rl/rr.
 func (c *ruleContext) ruleClosestRealNeighbor() {
 	n := c.n
-	known := n.knownSet()
+	n.knownSetInto(&n.scratch.known)
 	// The closest real candidates are the same for all siblings except
 	// for the strict </> constraint; scan the ordered known set once.
-	reals := known.Filter(func(r ref.Ref) bool { return r.IsReal() })
-	for _, level := range n.Levels() {
+	reals := &n.scratch.reals
+	reals.Clear()
+	for _, r := range n.scratch.known.Slice() {
+		if r.IsReal() {
+			reals.Add(r)
+		}
+	}
+	view := c.nw.view
+	for _, level := range n.scratch.levels {
 		ui := n.vnodes[level]
 		uiID := ui.Self.ID()
 
@@ -161,7 +176,7 @@ func (c *ruleContext) ruleClosestRealNeighbor() {
 				if !(yID > uiID || (v.ID() < yID && yID < uiID)) {
 					continue
 				}
-				if cur, has := c.view.rl[y]; c.view.hasRL[y] && has == true && cur.ID() >= v.ID() {
+				if e := view[y]; e.hasRL && e.rl.ID() >= v.ID() {
 					continue // y already knows an equal or closer left real
 				}
 				c.send(y, graph.Unmarked, v)
@@ -180,7 +195,7 @@ func (c *ruleContext) ruleClosestRealNeighbor() {
 				if !(yID < uiID || (v.ID() > yID && yID > uiID)) {
 					continue
 				}
-				if cur, has := c.view.rr[y]; c.view.hasRR[y] && has == true && cur.ID() <= v.ID() {
+				if e := view[y]; e.hasRR && e.rr.ID() <= v.ID() {
 					continue // y already knows an equal or closer right real
 				}
 				c.send(y, graph.Unmarked, v)
@@ -197,13 +212,13 @@ func (c *ruleContext) ruleClosestRealNeighbor() {
 // to the closest neighbors and re-adds rl/rr.
 func (c *ruleContext) ruleLinearization() {
 	n := c.n
-	for _, level := range n.Levels() {
+	for _, level := range n.scratch.levels {
 		ui := n.vnodes[level]
 		uiID := ui.Self.ID()
 
 		// lin-left: neighbors smaller than u_i in descending order
 		// w_1 > w_2 > ...; edge to w_{l+1} is forwarded to w_l.
-		var lefts, rights []ref.Ref
+		lefts, rights := n.scratch.lefts[:0], n.scratch.rights[:0]
 		for _, w := range ui.Nu.Slice() {
 			if w.ID() < uiID {
 				lefts = append(lefts, w)
@@ -215,6 +230,7 @@ func (c *ruleContext) ruleLinearization() {
 				rights = append(rights, w)
 			}
 		}
+		n.scratch.lefts, n.scratch.rights = lefts, rights
 		// Slice() is ascending; lefts ascending means the last element
 		// is the closest left neighbor, which is kept.
 		for i := 0; i+1 < len(lefts); i++ {
@@ -251,10 +267,11 @@ func (c *ruleContext) ruleLinearization() {
 // they know a node beyond the edge's target.
 func (c *ruleContext) ruleRingEdges() {
 	n := c.n
-	known := n.knownSet()
+	n.knownSetInto(&n.scratch.known)
+	known := &n.scratch.known
 
 	// create-all-ring-edges
-	for _, level := range n.Levels() {
+	for _, level := range n.scratch.levels {
 		ui := n.vnodes[level]
 		uiID := ui.Self.ID()
 		if _, hasLeft := ui.Nu.MaxBelow(uiID); !hasLeft {
@@ -270,13 +287,15 @@ func (c *ruleContext) ruleRingEdges() {
 	}
 
 	// forward-all-ring-edges
-	for _, level := range n.Levels() {
+	for _, level := range n.scratch.levels {
 		ui := n.vnodes[level]
 		uiID := ui.Self.ID()
-		for _, w := range append([]ref.Ref(nil), ui.Nr.Slice()...) {
+		n.scratch.snap = append(n.scratch.snap[:0], ui.Nr.Slice()...)
+		for _, w := range n.scratch.snap {
 			wID := w.ID()
 			// candidates x come from N(u_i) ∪ N_r(u_i)
-			cand := known.Clone()
+			cand := &n.scratch.cand
+			cand.CopyFrom(*known)
 			cand.AddAll(ui.Nr)
 			switch {
 			case wID > uiID:
@@ -314,7 +333,7 @@ func (c *ruleContext) ruleRingEdges() {
 // edge that glues the sibling's interval to its predecessor.
 func (c *ruleContext) ruleConnectionEdges() {
 	n := c.n
-	sibs := n.siblings()
+	sibs := n.scratch.sibs
 
 	// connect-virtual-nodes: consecutive siblings in sorted order.
 	for i := 0; i+1 < len(sibs); i++ {
@@ -322,16 +341,19 @@ func (c *ruleContext) ruleConnectionEdges() {
 	}
 
 	// forward-all-cedges
-	var sibSet ref.Set
+	sibSet := &n.scratch.sibSet
+	sibSet.Clear()
 	for _, s := range sibs {
 		sibSet.Add(s)
 	}
-	for _, level := range n.Levels() {
+	for _, level := range n.scratch.levels {
 		ui := n.vnodes[level]
-		for _, v := range append([]ref.Ref(nil), ui.Nc.Slice()...) {
+		n.scratch.snap = append(n.scratch.snap[:0], ui.Nc.Slice()...)
+		for _, v := range n.scratch.snap {
 			// w = max{x in N_u(u_i) ∪ S(u_i) : x < v}
-			cand := ui.Nu.Clone()
-			cand.AddAll(sibSet)
+			cand := &n.scratch.cand
+			cand.CopyFrom(ui.Nu)
+			cand.AddAll(*sibSet)
 			w, ok := cand.MaxBelow(v.ID())
 			switch {
 			case ok && w != ui.Self:

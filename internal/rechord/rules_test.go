@@ -24,8 +24,11 @@ func newFx(cfg Config, peers ...float64) *fx {
 func (f *fx) peer(x float64) *RealNode { return f.nw.Peer(ident.FromFloat(x)) }
 
 func (f *fx) run(x float64) nodeResult {
-	f.nw.snapshotLevels()
-	return f.nw.runRules(f.peer(x), f.nw.buildView())
+	// The fixture mutates peer state directly between runs, so the
+	// incrementally maintained caches are rebuilt wholesale.
+	f.nw.rebuildLevels()
+	f.nw.rebuildView()
+	return f.nw.runRules(f.peer(x), nil)
 }
 
 func TestRule1CreatesVirtualNodes(t *testing.T) {

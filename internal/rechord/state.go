@@ -73,11 +73,17 @@ func (v *VNode) addNc(r ref.Ref) {
 }
 
 func (v *VNode) clone() *VNode {
-	c := *v
-	c.Nu = v.Nu.Clone()
-	c.Nr = v.Nr.Clone()
-	c.Nc = v.Nc.Clone()
-	return &c
+	c := &VNode{
+		Self:  v.Self,
+		Nu:    v.Nu.Clone(),
+		Nr:    v.Nr.Clone(),
+		Nc:    v.Nc.Clone(),
+		RL:    v.RL,
+		RR:    v.RR,
+		HasRL: v.HasRL,
+		HasRR: v.HasRR,
+	}
+	return c
 }
 
 func (v *VNode) equal(o *VNode) bool {
@@ -93,11 +99,50 @@ func (v *VNode) equal(o *VNode) bool {
 type RealNode struct {
 	id     ident.ID
 	vnodes map[int]*VNode
-	inbox  []Message
-	// lastOut records the messages generated in the peer's previous
-	// round, for the local stability check; it is derived state and
-	// not part of global-state equality.
+
+	// in holds the peer's standing inbox as per-sender buckets: the
+	// bucket for sender s contains the messages s emitted at its most
+	// recently executed round. In the synchronous model a peer at a
+	// local fixed point regenerates the same output every round, so the
+	// bucket doubles as that repeating flow: the scheduler replaces a
+	// bucket only when the sender's output actually changes, and a
+	// skipped (clean) peer's pending inbox is exactly the union of its
+	// buckets — identical to what a full sweep would have delivered.
+	in map[ident.ID][]Message
+	// inbox holds one-shot messages outside the standing flow: leave
+	// goodbyes and the final output of a departed peer. They are
+	// consumed on delivery; buckets are not.
+	inbox []Message
+	// lastOut records the messages generated in the peer's most recent
+	// executed round, for the local stability check and for the
+	// scheduler's output diff; it is derived state and not part of
+	// global-state equality.
 	lastOut []Message
+
+	// dirty marks the peer as a member of the round frontier: its
+	// inputs may have changed since it last ran, so the next Step must
+	// run its rules. Managed by Network.markDirty and Step.
+	dirty bool
+
+	// scratch holds buffers reused across this peer's rule executions;
+	// never cloned, compared, or shared between peers.
+	scratch ruleScratch
+}
+
+// ruleScratch is per-peer reusable working memory for runRules, so
+// steady-state rounds allocate (almost) nothing on the hot path.
+type ruleScratch struct {
+	out    []Message
+	known  ref.Set
+	reals  ref.Set
+	cand   ref.Set
+	sibSet ref.Set
+	sibs   []ref.Ref
+	levels []int
+	snap   []ref.Ref
+	lefts  []ref.Ref
+	rights []ref.Ref
+	realID []ident.ID
 }
 
 // ID returns the peer's identifier.
@@ -112,6 +157,16 @@ func (n *RealNode) Levels() []int {
 	}
 	sort.Ints(ls)
 	return ls
+}
+
+// levelsInto is Levels reusing the given buffer.
+func (n *RealNode) levelsInto(buf []int) []int {
+	buf = buf[:0]
+	for l := range n.vnodes {
+		buf = append(buf, l)
+	}
+	sort.Ints(buf)
+	return buf
 }
 
 // MaxLevel returns the current m: the highest simulated level.
@@ -131,12 +186,17 @@ func (n *RealNode) VNode(level int) *VNode { return n.vnodes[level] }
 // siblings returns refs to all currently simulated virtual nodes
 // (including level 0), sorted by identifier.
 func (n *RealNode) siblings() []ref.Ref {
-	out := make([]ref.Ref, 0, len(n.vnodes))
+	return n.siblingsInto(nil)
+}
+
+// siblingsInto is siblings reusing the given buffer.
+func (n *RealNode) siblingsInto(buf []ref.Ref) []ref.Ref {
+	buf = buf[:0]
 	for l := range n.vnodes {
-		out = append(out, ref.Virtual(n.id, l))
+		buf = append(buf, ref.Virtual(n.id, l))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+	sort.Slice(buf, func(i, j int) bool { return buf[i].Less(buf[j]) })
+	return buf
 }
 
 // vnodesByLevel returns the virtual nodes ordered by level.
@@ -152,13 +212,19 @@ func (n *RealNode) vnodesByLevel() []*VNode {
 // the unmarked neighborhoods of all virtual nodes (Section 2.2).
 func (n *RealNode) knownSet() ref.Set {
 	var known ref.Set
+	n.knownSetInto(&known)
+	return known
+}
+
+// knownSetInto fills s with N(u), reusing its storage.
+func (n *RealNode) knownSetInto(s *ref.Set) {
+	s.Clear()
 	for l := range n.vnodes {
-		known.Add(ref.Virtual(n.id, l))
+		s.Add(ref.Virtual(n.id, l))
 	}
 	for _, v := range n.vnodes {
-		known.AddAll(v.Nu)
+		s.AddAll(v.Nu)
 	}
-	return known
 }
 
 // knownReals lists the identifiers of all real nodes this peer has an
@@ -184,34 +250,101 @@ func (n *RealNode) knownReals() []ident.ID {
 	return out
 }
 
+// knownRealsInto collects the same identifiers into buf without
+// deduplicating (ident.LevelFor takes a minimum, so duplicates are
+// harmless) to keep rule 1 allocation-free.
+func (n *RealNode) knownRealsInto(buf []ident.ID) []ident.ID {
+	buf = buf[:0]
+	for _, v := range n.vnodes {
+		for _, s := range []*ref.Set{&v.Nu, &v.Nr, &v.Nc} {
+			for _, r := range s.Slice() {
+				if r.IsReal() && r.Owner != n.id {
+					buf = append(buf, r.Owner)
+				}
+			}
+		}
+	}
+	return buf
+}
+
+// inboxMessages flattens the peer's pending inbox: the one-shot
+// messages plus the standing per-sender buckets. The order is
+// unspecified; delivery is a commutative set-union, and consumers that
+// need a canonical order sort the result.
+func (n *RealNode) inboxMessages() []Message {
+	if len(n.in) == 0 {
+		return n.inbox
+	}
+	out := make([]Message, 0, len(n.inbox)+4*len(n.in))
+	out = append(out, n.inbox...)
+	for _, ms := range n.in {
+		out = append(out, ms...)
+	}
+	return out
+}
+
+// pendingInbox reports how many messages are pending for the peer.
+func (n *RealNode) pendingInbox() int {
+	c := len(n.inbox)
+	for _, ms := range n.in {
+		c += len(ms)
+	}
+	return c
+}
+
 func (n *RealNode) clone() *RealNode {
 	c := &RealNode{id: n.id, vnodes: make(map[int]*VNode, len(n.vnodes))}
 	for l, v := range n.vnodes {
 		c.vnodes[l] = v.clone()
+	}
+	if len(n.in) > 0 {
+		c.in = make(map[ident.ID][]Message, len(n.in))
+		for s, ms := range n.in {
+			c.in[s] = append([]Message(nil), ms...)
+		}
 	}
 	c.inbox = append([]Message(nil), n.inbox...)
 	c.lastOut = append([]Message(nil), n.lastOut...)
 	return c
 }
 
-func (n *RealNode) equal(o *RealNode) bool {
-	if n.id != o.id || len(n.vnodes) != len(o.vnodes) {
+// cloneVNodes copies only the peer's own protocol state (virtual nodes
+// with their edge sets and rl/rr), for the scheduler's settle check.
+func (n *RealNode) cloneVNodes() map[int]*VNode {
+	c := make(map[int]*VNode, len(n.vnodes))
+	for l, v := range n.vnodes {
+		c[l] = v.clone()
+	}
+	return c
+}
+
+// vnodesEqual compares the peer's own protocol state against a
+// cloneVNodes copy.
+func (n *RealNode) vnodesEqual(o map[int]*VNode) bool {
+	if len(n.vnodes) != len(o) {
 		return false
 	}
 	for l, v := range n.vnodes {
-		ov, ok := o.vnodes[l]
+		ov, ok := o[l]
 		if !ok || !v.equal(ov) {
 			return false
 		}
 	}
+	return true
+}
+
+func (n *RealNode) equal(o *RealNode) bool {
+	if n.id != o.id || !n.vnodesEqual(o.vnodes) {
+		return false
+	}
 	// The global state of the synchronous model includes the messages
 	// in flight: two states with equal edge sets but different pending
 	// deliveries evolve differently.
-	if len(n.inbox) != len(o.inbox) {
+	if n.pendingInbox() != o.pendingInbox() {
 		return false
 	}
-	a := sortedMessages(n.inbox)
-	b := sortedMessages(o.inbox)
+	a := sortedMessages(n.inboxMessages())
+	b := sortedMessages(o.inboxMessages())
 	for i := range a {
 		if a[i] != b[i] {
 			return false
@@ -236,6 +369,22 @@ func sortedMessages(ms []Message) []Message {
 		return a.Add.Less(b.Add)
 	})
 	return out
+}
+
+// sameMessages reports whether two message slices are element-wise
+// identical. The rules are deterministic, so an unchanged peer output
+// repeats in the same order; a false negative only costs a spurious
+// re-run, never correctness.
+func sameMessages(a, b []Message) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Message is a delayed assignment (the paper's "A <= B"): an edge

@@ -139,6 +139,11 @@ func (s Set) Clone() Set {
 	return c
 }
 
+// CopyFrom makes s an exact copy of o, reusing s's storage.
+func (s *Set) CopyFrom(o Set) {
+	s.rs = append(s.rs[:0], o.rs...)
+}
+
 // Equal reports whether both sets hold exactly the same elements.
 func (s Set) Equal(o Set) bool {
 	if len(s.rs) != len(o.rs) {

@@ -92,6 +92,13 @@ func Measure(nw *rechord.Network) RoundMetrics {
 
 // Run executes rounds until the global state reaches a fixed point or
 // the round bound is hit.
+//
+// Under the incremental engine (the default), the fixed point is
+// detected by quiescence: an empty frontier means no peer's inputs
+// changed since it last reached a local fixed point, which is exactly
+// global stability — an O(1) check. Under rechord.Config.FullSweep the
+// engine has no frontier, so Run falls back to the classic deep-copy
+// snapshot comparison.
 func Run(nw *rechord.Network, opt Options) Result {
 	maxRounds := opt.MaxRounds
 	if maxRounds <= 0 {
@@ -99,7 +106,10 @@ func Run(nw *rechord.Network, opt Options) Result {
 	}
 	res := Result{AlmostStableRound: -1}
 	start := nw.Round() // rounds are counted relative to this run
-	prev := nw.TakeSnapshot()
+	var prev *rechord.Snapshot
+	if !nw.Incremental() {
+		prev = nw.TakeSnapshot()
+	}
 	for r := 0; r < maxRounds; r++ {
 		if opt.TrackSeries {
 			m := Measure(nw)
@@ -112,6 +122,21 @@ func Run(nw *rechord.Network, opt Options) Result {
 		}
 		if res.AlmostStableRound < 0 && opt.Ideal != nil && opt.Ideal.AlmostStable(nw) {
 			res.AlmostStableRound = nw.Round() - start
+		}
+		if nw.Incremental() {
+			if nw.Quiescent() {
+				res.Stable = true
+				// Rounds counts up to the last state change, matching
+				// the snapshot path's "round after which the state
+				// stopped changing".
+				res.Rounds = nw.LastChangeRound() - start
+				if res.Rounds < 0 {
+					res.Rounds = 0
+				}
+				res.Final = Measure(nw)
+				return res
+			}
+			continue
 		}
 		cur := nw.TakeSnapshot()
 		if cur.Equal(prev) {
