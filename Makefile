@@ -10,7 +10,11 @@ GO ?= go
 # detection.
 ROUND_BENCH := BenchmarkStepSteadyState|BenchmarkRound$$|BenchmarkSnapshot|BenchmarkChurnRecoveryLarge
 
-.PHONY: all test test-short lint vet fmt bench bench-json clean
+# Serving-layer benchmarks tracked in BENCH_lookups.json: cached vs
+# uncached table routing and the end-to-end workload engine.
+LOOKUP_BENCH := BenchmarkTableLookup|BenchmarkWorkload
+
+.PHONY: all test test-short lint vet fmt bench bench-json bench-lookups clean
 
 all: lint test
 
@@ -39,6 +43,12 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench '$(ROUND_BENCH)' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_rounds.json
 	@echo wrote BENCH_rounds.json
+
+# bench-lookups records the serving-layer benchmarks (table-lookup
+# cache vs baseline, workload percentiles) in BENCH_lookups.json.
+bench-lookups:
+	$(GO) test -run '^$$' -bench '$(LOOKUP_BENCH)' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_lookups.json
+	@echo wrote BENCH_lookups.json
 
 clean:
 	$(GO) clean -testcache

@@ -22,6 +22,7 @@ import (
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topogen"
+	"repro/internal/workload"
 )
 
 // paperSizes is the sweep of Section 5.
@@ -241,6 +242,82 @@ func BenchmarkChordBaselineLookup(b *testing.B) {
 				hops += float64(h)
 			}
 			b.ReportMetric(hops/float64(b.N), "hops")
+		})
+	}
+}
+
+// BenchmarkTableLookup measures table-based Chord lookups at n=1024,
+// cached (routing.Cache, epoch-invalidated) against the uncached
+// baseline that re-derives every hop's table via TableOf — the
+// serving-layer hot path internal/workload rides on. bench-lookups
+// records both in BENCH_lookups.json; the cached side must stay >= 5x
+// the uncached throughput.
+func BenchmarkTableLookup(b *testing.B) {
+	const n = 1024
+	nw := steadyNet(b, n, false)
+	ids := nw.Peers()
+	rng := rand.New(rand.NewSource(1))
+	cache := routing.NewCache(nw)
+	route := func(b *testing.B, via func(from, key ident.ID) (ident.ID, int, error)) {
+		var hops float64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, h, err := via(ids[rng.Intn(len(ids))], ident.ID(rng.Uint64()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			hops += float64(h)
+		}
+		b.ReportMetric(hops/float64(b.N), "hops")
+	}
+	b.Run(fmt.Sprintf("uncached/n=%d", n), func(b *testing.B) {
+		route(b, func(from, key ident.ID) (ident.ID, int, error) {
+			return routing.RouteUncached(nw, from, key)
+		})
+	})
+	b.Run(fmt.Sprintf("cached/n=%d", n), func(b *testing.B) {
+		route(b, cache.Route)
+	})
+}
+
+// BenchmarkWorkload measures the full serving stack — concurrent
+// workers, sharded store, cached routing — on a stable network,
+// reporting the latency percentiles and mean hops the acceptance
+// criteria track.
+func BenchmarkWorkload(b *testing.B) {
+	const n = 256
+	const opsPerRun = 5000
+	for _, dist := range []string{workload.DistUniform, workload.DistZipf} {
+		b.Run(fmt.Sprintf("%s/n=%d", dist, n), func(b *testing.B) {
+			nw := steadyNet(b, n, false)
+			var p50, p99, hops, tput float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := workload.Run(nw, workload.Config{
+					Workers:      8,
+					Ops:          opsPerRun,
+					Keyspace:     2048,
+					Preload:      1024,
+					Distribution: dist,
+					Seed:         int64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Errors > 0 {
+					b.Fatalf("%d errors on a stable network", res.Errors)
+				}
+				p50 += res.Latency.Percentile(50)
+				p99 += res.Latency.Percentile(99)
+				hops += res.Hops.Mean()
+				tput += res.Throughput
+			}
+			div := float64(b.N)
+			b.ReportMetric(p50/div, "p50-ns")
+			b.ReportMetric(p99/div, "p99-ns")
+			b.ReportMetric(hops/div, "mean-hops")
+			b.ReportMetric(tput/div/1000, "kops/s")
 		})
 	}
 }

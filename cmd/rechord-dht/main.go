@@ -1,42 +1,125 @@
 // Command rechord-dht demonstrates the Chord emulation on top of a
-// stabilized Re-Chord network: it builds a network, stabilizes it,
-// stores key-value pairs routed over the overlay, survives churn, and
-// verifies every key stays reachable.
+// stabilized Re-Chord network, in two modes.
 //
-// Usage:
+// The default demo mode builds a network, stores key-value pairs
+// routed over the overlay, survives churn, and verifies every key
+// stays reachable:
 //
 //	rechord-dht -n 32 -keys 200 -churn 4 -seed 1
+//
+// Workload mode drives the internal/workload traffic engine —
+// concurrent client workers, pluggable key distributions, optional
+// churn interleaved with the traffic — and prints the latency and
+// hop-count percentile tables:
+//
+//	rechord-dht -mode workload -n 64 -workers 8 -ops 50000 \
+//	    -dist zipf -churn 4 -seed 1
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/churn"
 	"repro/internal/dht"
+	"repro/internal/export"
 	"repro/internal/ident"
 	"repro/internal/rechord"
 	"repro/internal/routing"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		n      = flag.Int("n", 32, "number of peers")
-		keys   = flag.Int("keys", 200, "number of key-value pairs")
-		events = flag.Int("churn", 4, "churn events (join/leave/fail) to apply")
-		seed   = flag.Int64("seed", 1, "random seed")
+		mode    = flag.String("mode", "demo", "demo or workload")
+		n       = flag.Int("n", 32, "number of peers")
+		seed    = flag.Int64("seed", 1, "random seed")
+		events  = flag.Int("churn", 4, "churn events (join/leave/fail) to apply")
+		keys    = flag.Int("keys", 200, "demo: number of key-value pairs")
+		workers = flag.Int("workers", 8, "workload: concurrent client workers")
+		ops     = flag.Int("ops", 20000, "workload: total operations")
+		keysp   = flag.Int("keyspace", 4096, "workload: distinct keys")
+		dist    = flag.String("dist", "uniform", "workload: key distribution (uniform, zipf, hotspot)")
+		rate    = flag.Float64("rate", 0, "workload: open-loop target ops/sec (0 = closed loop)")
+		nocache = flag.Bool("nocache", false, "workload: disable the epoch-cached table router")
 	)
 	flag.Parse()
-	if err := run(*n, *keys, *events, *seed); err != nil {
+	var err error
+	switch *mode {
+	case "demo":
+		err = runDemo(*n, *keys, *events, *seed)
+	case "workload":
+		err = runWorkload(*n, *workers, *ops, *keysp, *events, *seed, *dist, *rate, *nocache)
+	default:
+		err = fmt.Errorf("unknown mode %q (want demo or workload)", *mode)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "rechord-dht: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, keys, events int, seed int64) error {
+func runWorkload(n, workers, ops, keyspace, events int, seed int64, dist string, rate float64, nocache bool) error {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Printf("building a stable Re-Chord network of %d peers...\n", n)
+	nw, _, err := churn.StableNetwork(n, rng, rechord.Config{})
+	if err != nil {
+		return err
+	}
+	cfg := workload.Config{
+		Workers:      workers,
+		Ops:          ops,
+		Keyspace:     keyspace,
+		Distribution: dist,
+		Preload:      keyspace / 2,
+		Seed:         seed,
+		Rate:         rate,
+		NoCache:      nocache,
+		Churn:        workload.ChurnConfig{Events: events},
+	}
+	fmt.Printf("workload: %d workers, %d ops, %s keys over %d, churn %d, cache %v\n",
+		cfg.Workers, cfg.Ops, dist, cfg.Keyspace, events, !nocache)
+	res, err := workload.Run(nw, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Summary())
+	fmt.Println()
+
+	ns := func(v float64) string { return time.Duration(v).Round(10 * time.Nanosecond).String() }
+	latRows := []export.HistRow{{Name: "all", H: res.Latency}}
+	hopRows := []export.HistRow{{Name: "all", H: res.Hops}}
+	for _, op := range res.PerOp {
+		op := op
+		latRows = append(latRows, export.HistRow{Name: op.Name, H: op.Latency})
+		hopRows = append(hopRows, export.HistRow{Name: op.Name, H: op.Hops})
+	}
+	if err := export.PercentileTable("operation latency", latRows, ns).WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := export.PercentileTable("lookup hops", hopRows, nil).WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if !nocache {
+		total := res.CacheHits + res.CacheMisses
+		if total > 0 {
+			fmt.Printf("routing cache: %d hits / %d misses (%.1f%% hit rate), %d table-route fallbacks\n",
+				res.CacheHits, res.CacheMisses, 100*float64(res.CacheHits)/float64(total), res.Fallbacks)
+		}
+	}
+	fmt.Printf("churn events applied: %d; final store: %d keys, fingerprint %016x; ops fingerprint %016x\n",
+		res.ChurnApplied, res.StoreLen, res.StoreFingerprint, res.OpsFingerprint)
+	return nil
+}
+
+func runDemo(n, keys, events int, seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
 	fmt.Printf("building a stable Re-Chord network of %d peers...\n", n)
 	nw, ids, err := churn.StableNetwork(n, rng, rechord.Config{})
@@ -53,7 +136,7 @@ func run(n, keys, events int, seed int64) error {
 		if err != nil {
 			return err
 		}
-		hops = append(hops, float64(h-1))
+		hops = append(hops, float64(h))
 	}
 	s := stats.Summarize(hops)
 	fmt.Printf("stored %d keys; routing hops: mean %.2f, max %.0f\n", store.Len(), s.Mean, s.Max)
@@ -83,11 +166,13 @@ func run(n, keys, events int, seed int64) error {
 	missing := 0
 	for i := 0; i < keys; i++ {
 		key := fmt.Sprintf("object-%04d", i)
-		v, ok, err := store.Get(peers[rng.Intn(len(peers))], key)
-		if err != nil {
+		v, _, err := store.Get(peers[rng.Intn(len(peers))], key)
+		switch {
+		case errors.Is(err, dht.ErrNotFound):
+			missing++
+		case err != nil:
 			return err
-		}
-		if !ok || v != fmt.Sprintf("value-%04d", i) {
+		case v != fmt.Sprintf("value-%04d", i):
 			missing++
 		}
 	}

@@ -6,7 +6,8 @@
 // architecture and DESIGN.md for the system inventory, the
 // activity-tracked round engine, and the experiment index. The
 // benchmarks in bench_test.go regenerate every figure of the paper's
-// evaluation and track the engine's hot path (see BENCH_rounds.json);
-// the binaries under cmd/ and the programs under examples/ exercise
-// the public API end to end.
+// evaluation and track the engine's hot path (see BENCH_rounds.json)
+// and the serving layer's lookup path (see BENCH_lookups.json); the
+// binaries under cmd/ and the programs under examples/ exercise the
+// public API end to end.
 package repro

@@ -1,20 +1,25 @@
 // Lookup: emulate Chord on a stabilized Re-Chord network. Every peer's
 // routing table (successor + fingers) is read off its own virtual
 // nodes' closest-real-neighbor state, lookups resolve in O(log n)
-// hops, and a small key-value store runs on top.
+// hops, and the workload engine serves concurrent DHT traffic over the
+// overlay through the epoch-cached table router.
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"time"
 
 	"repro/internal/churn"
 	"repro/internal/dht"
+	"repro/internal/export"
 	"repro/internal/ident"
 	"repro/internal/rechord"
 	"repro/internal/routing"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -49,16 +54,40 @@ func main() {
 	fmt.Printf("500 lookups over %d peers: mean %.2f hops, max %.0f (log2 n = 6)\n",
 		len(ids), s.Mean, s.Max)
 
-	// The DHT on top.
+	// A quick DHT round-trip on top.
 	store := dht.New(nw)
-	for i := 0; i < 100; i++ {
-		if _, _, err := store.Put(ids[i%len(ids)], fmt.Sprintf("user:%03d", i), fmt.Sprintf("profile-%03d", i)); err != nil {
+	if _, _, err := store.Put(ids[3], "user:042", "profile-042"); err != nil {
+		log.Fatal(err)
+	}
+	v, _, err := store.Get(ids[7], "user:042")
+	if err != nil {
+		log.Fatalf("Get failed: %v", err)
+	}
+	fmt.Printf("dht: user:042 -> %q\n\n", v)
+
+	// Serve concurrent traffic through the workload engine: same seed
+	// => same op stream and same final store contents, per
+	// distribution. Zipf concentrates the traffic, so its cache hit
+	// rate and tail behave differently from uniform.
+	ns := func(v float64) string { return time.Duration(v).Round(10 * time.Nanosecond).String() }
+	for _, dist := range []string{workload.DistUniform, workload.DistZipf} {
+		res, err := workload.Run(nw, workload.Config{
+			Workers:      8,
+			Ops:          8000,
+			Keyspace:     1024,
+			Preload:      512,
+			Distribution: dist,
+			Seed:         42,
+		})
+		if err != nil {
 			log.Fatal(err)
 		}
+		fmt.Printf("workload %-8s %s\n", dist+":", res.Summary())
+		rows := []export.HistRow{{Name: dist + " latency", H: res.Latency}}
+		if err := export.PercentileTable("", rows, ns).WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("hops: mean %.2f p99 %.0f; cache: %d hits / %d misses\n\n",
+			res.Hops.Mean(), res.Hops.Percentile(99), res.CacheHits, res.CacheMisses)
 	}
-	v, ok, err := store.Get(ids[7], "user:042")
-	if err != nil || !ok {
-		log.Fatalf("Get failed: %v %v", ok, err)
-	}
-	fmt.Printf("dht: stored 100 records, user:042 -> %q\n", v)
 }

@@ -1,13 +1,23 @@
 // Package dht is a consistent-hashing key-value store running on top
 // of a stabilized Re-Chord network — the kind of application the paper
 // means by "faithfully emulate any applications on top of Chord"
-// (Theorem 1.1). Every operation is routed through routing.Route, so
-// it exercises exactly the edges the self-stabilization protocol
-// maintains.
+// (Theorem 1.1). Every operation is routed over the overlay (by
+// default through routing.Route; callers serving traffic plug in the
+// epoch-cached table router), so it exercises exactly the edges the
+// self-stabilization protocol maintains.
+//
+// Storage is sharded: keys live in per-peer buckets, and the buckets
+// are spread over fixed shards each guarded by its own lock, so
+// concurrent clients touching different owners never contend. Routing
+// reads the network; callers that mutate the network concurrently
+// (churn) must serialize against operations externally (see
+// internal/workload).
 package dht
 
 import (
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
 
 	"repro/internal/ident"
@@ -15,78 +25,150 @@ import (
 	"repro/internal/routing"
 )
 
-// Store is the distributed key-value store: per-peer buckets plus the
-// network used for routing.
-type Store struct {
-	nw *rechord.Network
+// Typed operation errors, matchable with errors.Is.
+var (
+	// ErrUnknownPeer reports an operation issued from a home peer that
+	// is not in the network.
+	ErrUnknownPeer = errors.New("dht: unknown home peer")
+	// ErrNotFound reports a Get whose routing succeeded but whose key
+	// is absent at the owner — distinct from a routing failure, after
+	// which nothing is known about the key.
+	ErrNotFound = errors.New("dht: key not found")
+)
 
+// Resolver locates the owner of a key starting from a home peer,
+// returning the number of inter-peer hops the lookup took. Both
+// routing.Walker (state-walk) and routing.Cache (epoch-cached table
+// routing) implement it.
+type Resolver interface {
+	Resolve(from, key ident.ID) (owner ident.ID, hops int, err error)
+}
+
+// numShards spreads the per-peer buckets over independently locked
+// shards. Peer identifiers are uniform in [0,1), so the top bits give
+// an even spread.
+const numShards = 64
+
+type shard struct {
 	mu      sync.RWMutex
 	buckets map[ident.ID]map[string]string // peer -> key -> value
 }
 
-// New creates a store over the network. The network should be stable;
-// operations return errors when routing cannot complete.
+// Store is the distributed key-value store: sharded per-peer buckets
+// plus the network used for routing.
+type Store struct {
+	nw      *rechord.Network
+	resolve Resolver
+	shards  [numShards]shard
+}
+
+// New creates a store over the network, routed by the state-walk
+// router. The network should be stable; operations return errors when
+// routing cannot complete.
 func New(nw *rechord.Network) *Store {
-	return &Store{nw: nw, buckets: make(map[ident.ID]map[string]string)}
+	return NewWithResolver(nw, routing.Walker{NW: nw})
+}
+
+// NewWithResolver creates a store with a custom routing strategy (the
+// workload engine plugs in the epoch-cached table router with a
+// state-walk fallback).
+func NewWithResolver(nw *rechord.Network, r Resolver) *Store {
+	s := &Store{nw: nw, resolve: r}
+	for i := range s.shards {
+		s.shards[i].buckets = make(map[ident.ID]map[string]string)
+	}
+	return s
 }
 
 // KeyID returns the identifier a key hashes to.
 func KeyID(key string) ident.ID { return ident.Hash(key) }
 
-// Put stores the key-value pair, routing from the given home peer to
-// the key's owner. It returns the owner and the number of peers
-// visited.
-func (s *Store) Put(home ident.ID, key, value string) (ident.ID, int, error) {
-	owner, path, err := routing.Route(s.nw, home, KeyID(key))
-	if err != nil {
-		return 0, len(path), fmt.Errorf("dht: put %q: %w", key, err)
+func (s *Store) shardOf(owner ident.ID) *shard {
+	return &s.shards[uint64(owner)>>(64-6)] // top 6 bits: numShards = 64
+}
+
+func (s *Store) checkHome(home ident.ID) error {
+	if s.nw.Peer(home) == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownPeer, home)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	b := s.buckets[owner]
+	return nil
+}
+
+// Put stores the key-value pair, routing from the given home peer to
+// the key's owner. It returns the owner and the number of inter-peer
+// hops the lookup took.
+func (s *Store) Put(home ident.ID, key, value string) (ident.ID, int, error) {
+	if err := s.checkHome(home); err != nil {
+		return 0, 0, fmt.Errorf("dht: put %q: %w", key, err)
+	}
+	owner, hops, err := s.resolve.Resolve(home, KeyID(key))
+	if err != nil {
+		return 0, hops, fmt.Errorf("dht: put %q: %w", key, err)
+	}
+	sh := s.shardOf(owner)
+	sh.mu.Lock()
+	b := sh.buckets[owner]
 	if b == nil {
 		b = make(map[string]string)
-		s.buckets[owner] = b
+		sh.buckets[owner] = b
 	}
 	b[key] = value
-	return owner, len(path), nil
+	sh.mu.Unlock()
+	return owner, hops, nil
 }
 
-// Get fetches the value for a key, routing from the home peer.
-func (s *Store) Get(home ident.ID, key string) (string, bool, error) {
-	owner, path, err := routing.Route(s.nw, home, KeyID(key))
-	if err != nil {
-		return "", false, fmt.Errorf("dht: get %q: %w", key, err)
+// Get fetches the value for a key, routing from the home peer. A nil
+// error means the key was found; ErrNotFound means routing reached the
+// owner but the key is absent there; any other error is a routing
+// failure, after which nothing is known about the key.
+func (s *Store) Get(home ident.ID, key string) (string, int, error) {
+	if err := s.checkHome(home); err != nil {
+		return "", 0, fmt.Errorf("dht: get %q: %w", key, err)
 	}
-	_ = path
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	v, ok := s.buckets[owner][key]
-	return v, ok, nil
+	owner, hops, err := s.resolve.Resolve(home, KeyID(key))
+	if err != nil {
+		return "", hops, fmt.Errorf("dht: get %q: %w", key, err)
+	}
+	sh := s.shardOf(owner)
+	sh.mu.RLock()
+	v, ok := sh.buckets[owner][key]
+	sh.mu.RUnlock()
+	if !ok {
+		return "", hops, fmt.Errorf("dht: get %q at %s: %w", key, owner, ErrNotFound)
+	}
+	return v, hops, nil
 }
 
-// Delete removes a key, routing from the home peer.
-func (s *Store) Delete(home ident.ID, key string) (bool, error) {
-	owner, _, err := routing.Route(s.nw, home, KeyID(key))
+// Delete removes a key, routing from the home peer. It reports whether
+// the key existed.
+func (s *Store) Delete(home ident.ID, key string) (bool, int, error) {
+	if err := s.checkHome(home); err != nil {
+		return false, 0, fmt.Errorf("dht: delete %q: %w", key, err)
+	}
+	owner, hops, err := s.resolve.Resolve(home, KeyID(key))
 	if err != nil {
-		return false, fmt.Errorf("dht: delete %q: %w", key, err)
+		return false, hops, fmt.Errorf("dht: delete %q: %w", key, err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.buckets[owner][key]; !ok {
-		return false, nil
+	sh := s.shardOf(owner)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.buckets[owner][key]; !ok {
+		return false, hops, nil
 	}
-	delete(s.buckets[owner], key)
-	return true, nil
+	delete(sh.buckets[owner], key)
+	return true, hops, nil
 }
 
 // Len returns the total number of stored pairs.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	for _, b := range s.buckets {
-		n += len(b)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, b := range sh.buckets {
+			n += len(b)
+		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
@@ -94,40 +176,99 @@ func (s *Store) Len() int {
 // BucketSizes returns how many keys each peer holds, for load-balance
 // analysis (consistent hashing spreads keys evenly in expectation).
 func (s *Store) BucketSizes() map[ident.ID]int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[ident.ID]int, len(s.buckets))
-	for p, b := range s.buckets {
-		out[p] = len(b)
+	out := make(map[ident.ID]int)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for p, b := range sh.buckets {
+			if len(b) > 0 {
+				out[p] = len(b)
+			}
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
+// Contents flattens the store into one key -> value map, independent
+// of bucket placement.
+func (s *Store) Contents() map[string]string {
+	out := make(map[string]string)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, b := range sh.buckets {
+			for k, v := range b {
+				out[k] = v
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Fingerprint returns an order-insensitive hash of the key -> value
+// contents, deliberately ignoring which peer's bucket a pair sits in:
+// two runs that stored the same data fingerprint identically even if
+// churn timing placed pairs differently. The workload engine uses it
+// to assert reproducibility.
+func (s *Store) Fingerprint() uint64 {
+	var fp uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, b := range sh.buckets {
+			for k, v := range b {
+				h := fnv.New64a()
+				h.Write([]byte(k))
+				h.Write([]byte{0})
+				h.Write([]byte(v))
+				fp ^= h.Sum64()
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return fp
+}
+
 // Rebalance reassigns every stored pair to its current owner, used
 // after membership changes (the data-movement step Chord performs on
-// join/leave). It reports how many pairs moved.
+// join/leave). It reports how many pairs moved. Rebalance excludes
+// concurrent store operations by taking every shard lock.
 func (s *Store) Rebalance() (moved int, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range s.shards {
+			s.shards[i].mu.Unlock()
+		}
+	}()
 	peers := s.nw.Peers()
 	if len(peers) == 0 {
 		return 0, fmt.Errorf("dht: rebalance on empty network")
 	}
-	fresh := make(map[ident.ID]map[string]string)
-	for oldOwner, b := range s.buckets {
-		for k, v := range b {
-			owner := ident.Successor(peers, KeyID(k))
-			nb := fresh[owner]
-			if nb == nil {
-				nb = make(map[string]string)
-				fresh[owner] = nb
-			}
-			nb[k] = v
-			if owner != oldOwner {
-				moved++
+	type pair struct{ k, v string }
+	fresh := make(map[ident.ID][]pair)
+	for i := range s.shards {
+		for oldOwner, b := range s.shards[i].buckets {
+			for k, v := range b {
+				owner := ident.Successor(peers, KeyID(k))
+				fresh[owner] = append(fresh[owner], pair{k, v})
+				if owner != oldOwner {
+					moved++
+				}
 			}
 		}
+		s.shards[i].buckets = make(map[ident.ID]map[string]string)
 	}
-	s.buckets = fresh
+	for owner, pairs := range fresh {
+		sh := s.shardOf(owner)
+		b := make(map[string]string, len(pairs))
+		for _, p := range pairs {
+			b[p.k] = p.v
+		}
+		sh.buckets[owner] = b
+	}
 	return moved, nil
 }

@@ -1,13 +1,16 @@
 package dht
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/churn"
 	"repro/internal/ident"
 	"repro/internal/rechord"
+	"repro/internal/routing"
 )
 
 func TestPutGetDelete(t *testing.T) {
@@ -21,19 +24,47 @@ func TestPutGetDelete(t *testing.T) {
 	if _, _, err := s.Put(home, "alpha", "1"); err != nil {
 		t.Fatal(err)
 	}
-	v, ok, err := s.Get(ids[7], "alpha")
-	if err != nil || !ok || v != "1" {
-		t.Fatalf("Get = %q,%v,%v; want 1,true,nil", v, ok, err)
+	v, _, err := s.Get(ids[7], "alpha")
+	if err != nil || v != "1" {
+		t.Fatalf("Get = %q,%v; want 1,nil", v, err)
 	}
-	ok, err = s.Delete(ids[3], "alpha")
+	ok, _, err := s.Delete(ids[3], "alpha")
 	if err != nil || !ok {
 		t.Fatalf("Delete = %v,%v; want true,nil", ok, err)
 	}
-	if _, ok, _ := s.Get(home, "alpha"); ok {
-		t.Error("deleted key still present")
+	if _, _, err := s.Get(home, "alpha"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get of deleted key = %v, want ErrNotFound", err)
 	}
-	if ok, _ := s.Delete(home, "alpha"); ok {
+	if ok, _, _ := s.Delete(home, "alpha"); ok {
 		t.Error("double delete reported true")
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nw, ids, err := churn.StableNetwork(8, rng, rechord.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(nw)
+	bogus := ident.ID(424242)
+	if _, _, err := s.Put(bogus, "k", "v"); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("Put from unknown peer = %v, want ErrUnknownPeer", err)
+	}
+	if _, _, err := s.Get(bogus, "k"); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("Get from unknown peer = %v, want ErrUnknownPeer", err)
+	}
+	if _, _, err := s.Delete(bogus, "k"); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("Delete from unknown peer = %v, want ErrUnknownPeer", err)
+	}
+	// A missing key on a healthy network is ErrNotFound, never
+	// ErrUnknownPeer or a routing failure.
+	_, _, err = s.Get(ids[0], "never-stored")
+	if !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get of absent key = %v, want ErrNotFound", err)
+	}
+	if errors.Is(err, ErrUnknownPeer) {
+		t.Error("ErrNotFound must not match ErrUnknownPeer")
 	}
 }
 
@@ -60,6 +91,30 @@ func TestOwnerConsistentAcrossHomes(t *testing.T) {
 		want := ident.Successor(nw.Peers(), KeyID(key))
 		if owner1 != want {
 			t.Fatalf("key %q owned by %s, want consistent-hashing successor %s", key, owner1, want)
+		}
+	}
+}
+
+func TestCachedResolverAgreesWithWalker(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	nw, ids, err := churn.StableNetwork(24, rng, rechord.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	walk := New(nw)
+	cached := NewWithResolver(nw, routing.NewCache(nw))
+	for i := 0; i < 60; i++ {
+		key := fmt.Sprintf("obj-%d", i)
+		o1, _, err := walk.Put(ids[rng.Intn(len(ids))], key, "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, _, err := cached.Put(ids[rng.Intn(len(ids))], key, "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o1 != o2 {
+			t.Fatalf("key %q: walker owner %s != cached owner %s", key, o1, o2)
 		}
 	}
 }
@@ -94,6 +149,83 @@ func TestLoadSpread(t *testing.T) {
 	}
 }
 
+func TestConcurrentClientsShardedStore(t *testing.T) {
+	// Many clients hammering disjoint and overlapping keys through the
+	// sharded store; run under -race this pins down the fine-grained
+	// locking. The network is stable and only read, so no external
+	// serialization is needed.
+	rng := rand.New(rand.NewSource(8))
+	nw, ids, err := churn.StableNetwork(16, rng, rechord.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithResolver(nw, routing.NewCache(nw))
+	const workers = 8
+	const opsEach = 150
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				key := fmt.Sprintf("k%d", i%40*workers+w) // per-worker write ownership
+				home := ids[(i+w)%len(ids)]
+				if _, _, err := s.Put(home, key, fmt.Sprintf("v%d-%d", w, i)); err != nil {
+					errs <- err
+					return
+				}
+				if _, _, err := s.Get(home, fmt.Sprintf("k%d", i%40*workers)); err != nil && !errors.Is(err, ErrNotFound) {
+					errs <- err
+					return
+				}
+				if i%10 == 9 {
+					if _, _, err := s.Delete(home, key); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestFingerprintIgnoresBucketPlacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	nw, ids, err := churn.StableNetwork(10, rng, rechord.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(nw)
+	for i := 0; i < 100; i++ {
+		if _, _, err := s.Put(ids[0], fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Fingerprint()
+	// A join plus rebalance moves pairs between buckets without
+	// changing the key -> value contents.
+	rec, err := churn.Apply(nw, churn.Event{Kind: "join", ID: ident.ID(rng.Uint64() | 1), Contact: ids[0]}, 0)
+	if err != nil || !rec.Stable {
+		t.Fatalf("join failed: %v (stable=%v)", err, rec.Stable)
+	}
+	if _, err := s.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	if after := s.Fingerprint(); after != before {
+		t.Errorf("fingerprint changed across rebalance: %x -> %x", before, after)
+	}
+	s.Put(ids[0], "k0", "different")
+	if s.Fingerprint() == before {
+		t.Error("fingerprint blind to a value change")
+	}
+}
+
 func TestRebalanceAfterJoin(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	nw, ids, err := churn.StableNetwork(10, rng, rechord.Config{})
@@ -119,9 +251,9 @@ func TestRebalanceAfterJoin(t *testing.T) {
 	// After rebalancing, every key must be retrievable from any home.
 	for i := 0; i < 200; i++ {
 		key := fmt.Sprintf("k%d", i)
-		v, ok, err := s.Get(nw.Peers()[i%nw.NumPeers()], key)
-		if err != nil || !ok || v != fmt.Sprintf("v%d", i) {
-			t.Fatalf("Get(%q) = %q,%v,%v after rebalance", key, v, ok, err)
+		v, _, err := s.Get(nw.Peers()[i%nw.NumPeers()], key)
+		if err != nil || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%q) = %q,%v after rebalance", key, v, err)
 		}
 	}
 }

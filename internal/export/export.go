@@ -8,6 +8,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"repro/internal/stats"
 )
 
 // Table is a simple column-oriented result table.
@@ -98,6 +100,29 @@ func (t *Table) WriteCSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// HistRow pairs a label with a histogram for PercentileTable.
+type HistRow struct {
+	Name string
+	H    *stats.Histogram
+}
+
+// PercentileTable renders the workload telemetry convention: one row
+// per histogram with count, mean and the serving-latency percentiles.
+// fmtVal formats a value (e.g. nanoseconds as a duration); nil uses
+// %.2f.
+func PercentileTable(title string, rows []HistRow, fmtVal func(float64) string) *Table {
+	if fmtVal == nil {
+		fmtVal = func(v float64) string { return fmt.Sprintf("%.2f", v) }
+	}
+	t := NewTable(title, "series", "count", "mean", "p50", "p90", "p99", "p99.9", "max")
+	for _, r := range rows {
+		t.AddRow(r.Name, r.H.N(), fmtVal(r.H.Mean()), fmtVal(r.H.Percentile(50)),
+			fmtVal(r.H.Percentile(90)), fmtVal(r.H.Percentile(99)),
+			fmtVal(r.H.Percentile(99.9)), fmtVal(r.H.Max()))
+	}
+	return t
 }
 
 // Series is one named line of an ASCII plot.

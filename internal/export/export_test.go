@@ -3,6 +3,9 @@ package export
 import (
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/stats"
 )
 
 func TestTableText(t *testing.T) {
@@ -34,6 +37,34 @@ func TestTableCSV(t *testing.T) {
 	}
 	if got := b.String(); got != "a,b\n1,2\n" {
 		t.Errorf("CSV = %q", got)
+	}
+}
+
+func TestPercentileTable(t *testing.T) {
+	var lat stats.Histogram
+	for i := 1; i <= 1000; i++ {
+		lat.Observe(float64(i) * 1000)
+	}
+	tab := PercentileTable("latency", []HistRow{{Name: "get", H: &lat}},
+		func(v float64) string { return time.Duration(v).String() })
+	var b strings.Builder
+	if err := tab.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"latency", "get", "p99.9", "1000", "1ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("percentile table missing %q:\n%s", want, out)
+		}
+	}
+	// The empty histogram renders a zero row, not a panic.
+	empty := PercentileTable("empty", []HistRow{{Name: "none", H: &stats.Histogram{}}}, nil)
+	b.Reset()
+	if err := empty.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "none") {
+		t.Error("empty histogram row missing")
 	}
 }
 

@@ -108,6 +108,9 @@ func (a *AsyncRunner) Step() int {
 		n := nw.nodes[id]
 		nw.deliver(n)
 		nw.purge(n)
+		// The async runner keeps no pre-activation copy; stamp every
+		// activated peer so epoch-keyed caches stay conservative.
+		nw.bumpEpoch(n)
 		res := nw.runRules(n, nil)
 		n.lastOut = res.out
 		for _, msg := range res.out {

@@ -102,6 +102,12 @@ type Network struct {
 	// global state, the quantity convergence experiments report.
 	lastChange int
 
+	// epochClock issues peer change epochs (RealNode.epoch): it is
+	// incremented on every bump, so two changes to the same peer are
+	// never stamped equal even within one round (AddPeer followed by
+	// SeedEdge before the first Step, for instance).
+	epochClock int
+
 	// bucketMsgs counts the messages across all standing buckets: the
 	// per-round message flow of the current schedule.
 	bucketMsgs int
@@ -130,6 +136,7 @@ func (nw *Network) AddPeer(id ident.ID) *RealNode {
 	}
 	n := &RealNode{id: id, vnodes: map[int]*VNode{0: newVNode(id, 0)}}
 	nw.nodes[id] = n
+	nw.bumpEpoch(n)
 	nw.insertOrder(id)
 	nw.levelOf[id] = 0
 	nw.markDirty(id)
@@ -235,6 +242,30 @@ func (nw *Network) Incremental() bool { return !nw.cfg.FullSweep }
 // changed the global state (0 if no round changed anything yet).
 func (nw *Network) LastChangeRound() int { return nw.lastChange }
 
+// bumpEpoch stamps the peer with a fresh change epoch.
+func (nw *Network) bumpEpoch(n *RealNode) {
+	nw.epochClock++
+	n.epoch = nw.epochClock
+}
+
+// PeerEpoch returns the peer's current change epoch: a monotone stamp
+// that advances whenever the peer's own protocol state (virtual nodes,
+// edge sets, rl/rr) may have changed. Derived per-peer state — a
+// routing table read off the peer's virtual nodes, say — is fresh
+// exactly as long as the epoch it was computed under still equals the
+// current one. The second result is false when the peer is not in the
+// network. The incremental scheduler stamps only peers whose state
+// actually changed; under Config.FullSweep every executed peer is
+// stamped every round (conservative, so caches merely lose their
+// effectiveness, never their correctness).
+func (nw *Network) PeerEpoch(id ident.ID) (int, bool) {
+	n, ok := nw.nodes[id]
+	if !ok {
+		return 0, false
+	}
+	return n.epoch, true
+}
+
 // SeedEdge gives the peer owning `from` initial knowledge of `to` as an
 // edge of the kind, creating the source virtual node if needed. Used to
 // build arbitrary initial states.
@@ -259,6 +290,7 @@ func (nw *Network) SeedEdge(from, to ref.Ref, k graph.Kind) {
 	case graph.Connection:
 		v.addNc(to)
 	}
+	nw.bumpEpoch(n)
 	nw.markDirty(from.Owner)
 }
 
@@ -571,12 +603,21 @@ func (nw *Network) Step() RoundStats {
 			changed = true
 		}
 		if settle {
-			if outChanged || !n.vnodesEqual(pres[i]) {
+			stateChanged := !n.vnodesEqual(pres[i])
+			if stateChanged {
+				nw.bumpEpoch(n)
+			}
+			if outChanged || stateChanged {
 				// Not a local fixed point yet: stay on the frontier.
 				nw.markDirty(id)
 				changed = true
 			}
 			pres[i] = nil
+		} else {
+			// The full sweep keeps no pre-round copy to diff against, so
+			// every executed peer is stamped (conservative: epoch-keyed
+			// caches rebuild each round but never serve stale state).
+			nw.bumpEpoch(n)
 		}
 		// lastOut takes ownership of the content; the scratch buffer is
 		// recycled for the peer's next run.

@@ -124,6 +124,15 @@ type RealNode struct {
 	// run its rules. Managed by Network.markDirty and Step.
 	dirty bool
 
+	// epoch is the peer's change epoch: a network-wide monotone stamp
+	// taken whenever the peer's own protocol state (its virtual nodes
+	// with their edge sets and rl/rr) may have changed. Consumers such
+	// as routing.Cache compare epochs for equality to decide whether
+	// derived state (a routing table) is still fresh. Like lastOut and
+	// scratch it is derived scheduler state, outside global-state
+	// equality.
+	epoch int
+
 	// scratch holds buffers reused across this peer's rule executions;
 	// never cloned, compared, or shared between peers.
 	scratch ruleScratch

@@ -1,0 +1,223 @@
+package routing
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ident"
+	"repro/internal/rechord"
+)
+
+// TableSource resolves a peer's current routing table. Both the cache
+// and the uncached per-hop TableOf fit this shape, so RouteTables is
+// the single lookup implementation benchmarked against itself.
+type TableSource func(id ident.ID) (*Table, error)
+
+// RouteTables performs a classic Chord lookup using only per-peer
+// routing tables: at each peer, if the key falls in (self, successor]
+// the successor owns it; otherwise the lookup forwards to the closest
+// candidate preceding the key (the finger that bisects the remaining
+// distance). On a stable network this is exactly Chord's O(log n)
+// greedy routing over the fingers Theorem 1.1 guarantees. numPeers
+// bounds the walk; hops counts inter-peer forwards.
+//
+// Tables extracted mid-stabilization can be incomplete (no successor
+// yet) or stale (a finger naming a departed peer); both surface as an
+// error, and callers that must survive churn fall back to the
+// state-walk Route, which tolerates partially repaired state.
+func RouteTables(tables TableSource, numPeers int, from, key ident.ID) (owner ident.ID, hops int, err error) {
+	cur := from
+	limit := 8*numPeers + 16
+	// A lookup stranded in the top identifier segment — where rr, being
+	// linear, leaves the uppermost peer without a successor — switches
+	// to descent mode: hop along each table's MinKnown toward the
+	// global minimum node, whose owner's wrap rule names the owner of
+	// all wrap-segment keys. This mirrors Route's routeToGlobalMin on
+	// raw state; the floor enforces strict monotone progress so a
+	// mid-churn table cannot cycle the descent.
+	descending := false
+	floor := ^ident.ID(0)
+	for iter := 0; iter <= limit; iter++ {
+		if key == cur || numPeers == 1 {
+			return cur, hops, nil
+		}
+		t, err := tables(cur)
+		if err != nil {
+			return 0, hops, err
+		}
+		if t.HasWrap && ident.InRightHalfOpen(key, t.WrapFrom, t.WrapTo) {
+			return t.WrapOwner, hops, nil
+		}
+		// Termination on the successor interval applies in both modes: a
+		// descent can land on the peer just below the key's owner (the
+		// global minimum peer, when the key sits right above it).
+		if t.HasSucc && ident.InRightHalfOpen(key, cur, t.Successor) {
+			return t.Successor, hops, nil
+		}
+		if !descending {
+			var best ident.ID
+			found := false
+			for _, c := range t.hops {
+				if c == key {
+					// A candidate sitting exactly on the key owns it
+					// (it is its own successor).
+					return c, hops, nil
+				}
+				if !ident.Between(c, cur, key) {
+					continue
+				}
+				if !found || ident.Dist(cur, c) > ident.Dist(cur, best) {
+					best, found = c, true
+				}
+			}
+			if found {
+				cur = best
+				hops++
+				continue
+			}
+			descending = true
+		}
+		// A descent that reached the global minimum node's owner is
+		// done: the stranded key lies above every real peer, so it
+		// belongs to the minimum's closest right real.
+		if t.OwnsMinNode {
+			return t.MinNodeOwner, hops, nil
+		}
+		if t.MinKnownOwner != cur && t.MinKnownID < floor {
+			floor = t.MinKnownID
+			cur = t.MinKnownOwner
+			hops++
+			continue
+		}
+		// A correct table always lets the lookup either terminate or
+		// make progress; reaching here means the table is still being
+		// repaired.
+		return 0, hops, fmt.Errorf("routing: no progress from %s toward %s", cur, key)
+	}
+	return 0, hops, fmt.Errorf("routing: table lookup for %s exceeded %d hops", key, limit)
+}
+
+// RouteUncached is the baseline table lookup: every hop re-derives the
+// peer's table from its Re-Chord state via TableOf. It exists to be
+// measured against Cache.Route (see BenchmarkTableLookup).
+func RouteUncached(nw *rechord.Network, from, key ident.ID) (ident.ID, int, error) {
+	return RouteTables(func(id ident.ID) (*Table, error) { return TableOf(nw, id) }, nw.NumPeers(), from, key)
+}
+
+type cacheEntry struct {
+	epoch int
+	table *Table
+}
+
+// Cache memoizes per-peer routing tables and invalidates them through
+// the network's change epochs instead of rebuilding per lookup: a
+// cached table is served only while rechord.Network.PeerEpoch still
+// returns the epoch the table was derived under. On a quiescent
+// network every epoch is stable, so lookups stop touching Re-Chord
+// state entirely; after churn, exactly the peers whose state the
+// re-stabilization rewrote are rebuilt.
+//
+// The cache itself is safe for concurrent use. Reads of the underlying
+// network are NOT synchronized here: callers that interleave lookups
+// with Step/Join/Leave/Fail must serialize them externally (readers
+// share, mutators exclude — see internal/workload for the pattern).
+type Cache struct {
+	nw *rechord.Network
+
+	mu      sync.RWMutex
+	entries map[ident.ID]cacheEntry
+
+	hits, misses atomic.Uint64
+}
+
+// NewCache creates an empty cache over the network.
+func NewCache(nw *rechord.Network) *Cache {
+	return &Cache{nw: nw, entries: make(map[ident.ID]cacheEntry)}
+}
+
+// Table returns the peer's current routing table, rebuilding it only
+// when the peer's change epoch moved since the cached copy was built.
+// The returned table is shared and must not be mutated.
+func (c *Cache) Table(id ident.ID) (*Table, error) {
+	epoch, ok := c.nw.PeerEpoch(id)
+	if !ok {
+		return nil, fmt.Errorf("routing: unknown peer %s", id)
+	}
+	c.mu.RLock()
+	e, have := c.entries[id]
+	c.mu.RUnlock()
+	if have && e.epoch == epoch {
+		c.hits.Add(1)
+		return e.table, nil
+	}
+	t, err := TableOf(c.nw, id)
+	if err != nil {
+		return nil, err
+	}
+	c.misses.Add(1)
+	c.mu.Lock()
+	c.entries[id] = cacheEntry{epoch: epoch, table: t}
+	c.mu.Unlock()
+	return t, nil
+}
+
+// Route performs a table-based Chord lookup through the cache.
+func (c *Cache) Route(from, key ident.ID) (owner ident.ID, hops int, err error) {
+	return RouteTables(c.Table, c.nw.NumPeers(), from, key)
+}
+
+// Resolve is Route under the name the DHT's resolver plug expects.
+func (c *Cache) Resolve(from, key ident.ID) (owner ident.ID, hops int, err error) {
+	return c.Route(from, key)
+}
+
+// Prune drops entries for peers that have departed or whose epoch
+// moved, bounding the cache under sustained churn. It returns how many
+// entries were dropped.
+func (c *Cache) Prune() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for id, e := range c.entries {
+		if epoch, ok := c.nw.PeerEpoch(id); !ok || epoch != e.epoch {
+			delete(c.entries, id)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Len returns the number of cached tables.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Stats returns the hit/miss counters since creation.
+func (c *Cache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Walker adapts the state-walk Route (which hops along raw Re-Chord
+// edges and tolerates mid-stabilization state) to the same Resolve
+// shape as Cache, so the DHT and the workload engine can swap between
+// them.
+type Walker struct {
+	NW *rechord.Network
+}
+
+// Resolve routes from the home peer to the key's owner, returning the
+// number of inter-peer hops.
+func (w Walker) Resolve(from, key ident.ID) (owner ident.ID, hops int, err error) {
+	owner, path, err := Route(w.NW, from, key)
+	hops = len(path) - 1
+	if hops < 0 {
+		hops = 0
+	}
+	if err != nil {
+		return 0, hops, err
+	}
+	return owner, hops, nil
+}

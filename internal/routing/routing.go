@@ -26,6 +26,39 @@ type Table struct {
 	HasSucc   bool
 	// Fingers maps level i to rr(u_i), the peer following self+1/2^i.
 	Fingers map[int]ident.ID
+
+	// Wrap captures the ring-closing rule when this peer owns the
+	// globally smallest node v: v has no left unmarked neighbor and a
+	// ring edge to the globally largest node t, so the wrap segment
+	// (t, v] contains no node at all and its keys belong to WrapOwner
+	// (v's peer when v is real, else v's closest right real). Only the
+	// global minimum node's owner has it set.
+	WrapOwner        ident.ID
+	WrapFrom, WrapTo ident.ID
+	HasWrap          bool
+
+	// OwnsMinNode marks the peer that owns the globally smallest node
+	// (no unmarked neighbor to its left), whether or not the ring edge
+	// needed for the interval rule above is present; MinNodeOwner is
+	// the peer answering for that node. A descent terminates here
+	// unconditionally — any key stranded above every real peer belongs
+	// to the global minimum's closest right real (Route's
+	// routeToGlobalMin does exactly this on raw state).
+	MinNodeOwner ident.ID
+	OwnsMinNode  bool
+
+	// MinKnown is the smallest-identifier node this peer knows (own
+	// virtual nodes, unmarked and ring neighbors, closest left reals)
+	// and its owner. Lookups stranded in the top identifier segment —
+	// where rr, being linear, is undefined — descend along MinKnown
+	// hops toward the global minimum node, exactly the monotone
+	// descent Route performs on raw state.
+	MinKnownID    ident.ID
+	MinKnownOwner ident.ID
+
+	// hops is the deduplicated union of successor and fingers, the
+	// candidate next-hop set table-based routing scans.
+	hops []ident.ID
 }
 
 // TableOf extracts the routing table of the peer. The network should
@@ -60,8 +93,64 @@ func TableOf(nw *rechord.Network, id ident.ID) (*Table, error) {
 		t.Successor = u0.RR.Owner
 		t.HasSucc = true
 	}
+	// Wrap rule and descent hop (see the field docs): both are read off
+	// the peer's own state only, like everything else in the table.
+	t.MinKnownID, t.MinKnownOwner = id, id
+	for _, lvl := range n.Levels() {
+		v := n.VNode(lvl)
+		vpos := v.Self.ID()
+		if own, ok := globalMinOwner(v); ok {
+			if _, hasLeft := v.Nu.MaxBelow(vpos); !hasLeft {
+				t.MinNodeOwner, t.OwnsMinNode = own, true
+				for _, r := range v.Nr.Slice() {
+					if r.ID() > vpos {
+						t.WrapFrom, t.WrapTo = r.ID(), vpos
+						t.WrapOwner, t.HasWrap = own, true
+					}
+				}
+			}
+		}
+		consider := func(y ref.Ref) {
+			if y.ID() < t.MinKnownID {
+				t.MinKnownID, t.MinKnownOwner = y.ID(), y.Owner
+			}
+		}
+		consider(v.Self)
+		for _, y := range v.Nu.Slice() {
+			consider(y)
+		}
+		for _, y := range v.Nr.Slice() {
+			consider(y)
+		}
+		if v.HasRL {
+			consider(v.RL)
+		}
+	}
+	t.buildHops()
 	return t, nil
 }
+
+// buildHops precomputes the deduplicated candidate next-hop set so
+// table-based routing pays the collection cost once per table build,
+// not once per hop.
+func (t *Table) buildHops() {
+	seen := make(map[ident.ID]bool, len(t.Fingers)+1)
+	t.hops = t.hops[:0]
+	if t.HasSucc && t.Successor != t.Self {
+		seen[t.Successor] = true
+		t.hops = append(t.hops, t.Successor)
+	}
+	for _, f := range t.Fingers {
+		if f != t.Self && !seen[f] {
+			seen[f] = true
+			t.hops = append(t.hops, f)
+		}
+	}
+}
+
+// NextHops returns the peers the table can forward to (successor plus
+// fingers, deduplicated).
+func (t *Table) NextHops() []ident.ID { return t.hops }
 
 // Route performs a Chord-style lookup for key starting at from,
 // hopping only along edges present in the Re-Chord state (a hop is a

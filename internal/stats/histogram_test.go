@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.N() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not all-zero: %s", &h)
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := h.Percentile(p); got != 0 {
+			t.Errorf("empty Percentile(%g) = %g, want 0", p, got)
+		}
+	}
+	// Merging an empty histogram is a no-op in both directions.
+	h2 := &Histogram{}
+	h2.Observe(7)
+	h2.Merge(&h)
+	if h2.N() != 1 || h2.Percentile(50) != 7 {
+		t.Errorf("merge of empty changed target: %s", h2)
+	}
+	h.Merge(h2)
+	if h.N() != 1 || h.Percentile(50) != 7 {
+		t.Errorf("merge into empty lost data: %s", &h)
+	}
+	h.Merge(nil)
+	if h.N() != 1 {
+		t.Errorf("merge of nil changed target: %s", &h)
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	// Values below 64 live in exact unit buckets: percentiles must
+	// match the nearest-rank Percentile on the raw sample.
+	var h Histogram
+	var xs []float64
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		v := float64(rng.Intn(60))
+		xs = append(xs, v)
+		h.Observe(v)
+	}
+	for _, p := range []float64{1, 25, 50, 90, 99, 99.9} {
+		want := Percentile(xs, p)
+		if got := h.Percentile(p); got != want {
+			t.Errorf("Percentile(%g) = %g, want %g (exact range)", p, got, want)
+		}
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	if got := h.Mean(); math.Abs(got-sum/float64(len(xs))) > 1e-9 {
+		t.Errorf("Mean = %g, want %g", got, sum/float64(len(xs)))
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	// Above the exact range the log-linear buckets bound the quantile
+	// error at one sub-bucket width: |est - true| <= true/32.
+	var h Histogram
+	var xs []float64
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		v := math.Exp(rng.Float64() * 20) // spans 1 .. ~5e8
+		xs = append(xs, v)
+		h.Observe(v)
+	}
+	sort.Float64s(xs)
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		want := Percentile(xs, p)
+		got := h.Percentile(p)
+		if math.Abs(got-want) > want/32+1 {
+			t.Errorf("Percentile(%g) = %g, want %g ± %g", p, got, want, want/32)
+		}
+	}
+	if got, want := h.Max(), xs[len(xs)-1]; got != want {
+		t.Errorf("Max = %g, want %g (must be exact)", got, want)
+	}
+	if got, want := h.Min(), xs[0]; got != want {
+		t.Errorf("Min = %g, want %g (must be exact)", got, want)
+	}
+}
+
+func TestHistogramMergeOfShardsIsExact(t *testing.T) {
+	// One observer vs. the same stream split across 8 shards and
+	// merged: identical counts, sum, extremes and percentiles.
+	rng := rand.New(rand.NewSource(3))
+	var whole Histogram
+	shards := make([]*Histogram, 8)
+	for i := range shards {
+		shards[i] = &Histogram{}
+	}
+	for i := 0; i < 30000; i++ {
+		v := math.Abs(rng.NormFloat64()) * 1e6
+		whole.Observe(v)
+		shards[i%len(shards)].Observe(v)
+	}
+	var merged Histogram
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if merged.N() != whole.N() || merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("merged summary differs: %s vs %s", &merged, &whole)
+	}
+	// Sums are accumulated in different association orders, so allow
+	// floating-point rounding; counts and quantiles must be identical.
+	if math.Abs(merged.Sum()-whole.Sum()) > 1e-6*whole.Sum() {
+		t.Fatalf("merged sum %g differs from whole %g", merged.Sum(), whole.Sum())
+	}
+	for p := 0.0; p <= 100; p += 0.5 {
+		if merged.Percentile(p) != whole.Percentile(p) {
+			t.Fatalf("Percentile(%g): merged %g != whole %g", p, merged.Percentile(p), whole.Percentile(p))
+		}
+	}
+}
+
+func TestHistogramClampsNegativeAndNaN(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	h.Observe(math.NaN())
+	if h.N() != 2 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("negative/NaN not clamped to 0: %s", &h)
+	}
+}
+
+func TestHistogramClone(t *testing.T) {
+	var h Histogram
+	h.Observe(100)
+	c := h.Clone()
+	c.Observe(200)
+	if h.N() != 1 || c.N() != 2 {
+		t.Errorf("clone not independent: h=%s c=%s", &h, c)
+	}
+}
+
+func TestHistogramBucketBoundsContiguous(t *testing.T) {
+	// Every bucket's upper bound is the next bucket's lower bound, and
+	// histBucket is monotone over a dense value sweep.
+	prevHi := uint64(0)
+	for b := 0; b < histBucket(1<<40)+1; b++ {
+		lo, hi := histBounds(b)
+		if lo != prevHi {
+			t.Fatalf("bucket %d: lo %d != previous hi %d", b, lo, prevHi)
+		}
+		if histBucket(lo) != b || histBucket(hi-1) != b {
+			t.Fatalf("bucket %d [%d,%d) does not round-trip through histBucket", b, lo, hi)
+		}
+		prevHi = hi
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 15}, {5, 15}, {30, 20}, {40, 20}, {50, 35}, {100, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(empty) = %g, want 0", got)
+	}
+}

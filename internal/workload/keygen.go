@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Key distributions. A keyGen maps a worker's op index to a key index
+// in [0, Keyspace), drawing randomness from the worker's own seeded
+// RNG — the sequence is a pure function of (seed, worker, op index),
+// which is what makes runs reproducible.
+type keyGen interface {
+	next(i int) int
+}
+
+// Distribution names accepted by Config.Distribution.
+const (
+	DistUniform = "uniform"
+	DistZipf    = "zipf"
+	DistHotspot = "hotspot"
+)
+
+type uniformGen struct {
+	rng *rand.Rand
+	n   int
+}
+
+func (g *uniformGen) next(int) int { return g.rng.Intn(g.n) }
+
+// zipfGen skews toward low key indices with the standard Zipf-Mandelbrot
+// law; s and v are the generator's exponent and offset.
+type zipfGen struct {
+	z *rand.Zipf
+}
+
+func (g *zipfGen) next(int) int { return int(g.z.Uint64()) }
+
+// hotspotGen sends hotFrac of the traffic to a window of hotKeys
+// contiguous keys whose position jumps every shiftEvery ops — the
+// shifting-hotspot model: caches and buckets that tuned themselves to
+// one hot set see it move out from under them mid-run.
+type hotspotGen struct {
+	rng        *rand.Rand
+	n          int
+	hotKeys    int
+	hotFrac    float64
+	shiftEvery int
+}
+
+func (g *hotspotGen) next(i int) int {
+	if g.rng.Float64() < g.hotFrac {
+		// The window start strides by a large odd constant so
+		// successive windows land far apart on the keyspace.
+		base := (i / g.shiftEvery) * (g.hotKeys*7 + 1) % g.n
+		return (base + g.rng.Intn(g.hotKeys)) % g.n
+	}
+	return g.rng.Intn(g.n)
+}
+
+// newKeyGen builds the generator the config names. The rng must be the
+// worker's private RNG.
+func newKeyGen(cfg Config, rng *rand.Rand) (keyGen, error) {
+	switch cfg.Distribution {
+	case DistUniform, "":
+		return &uniformGen{rng: rng, n: cfg.Keyspace}, nil
+	case DistZipf:
+		s, v := cfg.ZipfS, cfg.ZipfV
+		if s <= 1 {
+			s = 1.2
+		}
+		if v < 1 {
+			v = 1
+		}
+		return &zipfGen{z: rand.NewZipf(rng, s, v, uint64(cfg.Keyspace-1))}, nil
+	case DistHotspot:
+		hot := cfg.HotKeys
+		if hot <= 0 {
+			hot = cfg.Keyspace / 64
+			if hot < 1 {
+				hot = 1
+			}
+		}
+		frac := cfg.HotFraction
+		if frac <= 0 || frac > 1 {
+			frac = 0.9
+		}
+		shift := cfg.HotShiftEvery
+		if shift <= 0 {
+			shift = 1000
+		}
+		return &hotspotGen{rng: rng, n: cfg.Keyspace, hotKeys: hot, hotFrac: frac, shiftEvery: shift}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown distribution %q (want %s, %s or %s)",
+			cfg.Distribution, DistUniform, DistZipf, DistHotspot)
+	}
+}
