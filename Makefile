@@ -14,7 +14,7 @@ ROUND_BENCH := BenchmarkStepSteadyState|BenchmarkRound$$|BenchmarkSnapshot|Bench
 # uncached table routing and the end-to-end workload engine.
 LOOKUP_BENCH := BenchmarkTableLookup|BenchmarkWorkload
 
-.PHONY: all test test-short lint vet fmt bench bench-json bench-lookups clean
+.PHONY: all test test-short lint vet fmt bench bench-json bench-lookups cover examples clean
 
 all: lint test
 
@@ -34,6 +34,20 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# cover writes the aggregate coverage profile (uploaded as a CI
+# artifact) and prints the total.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+# examples builds and runs every examples/ program — the CI smoke gate
+# proving the public facade drives each end to end.
+examples:
+	$(GO) build ./examples/...
+	@for d in examples/*/; do \
+		echo "== $$d"; $(GO) run ./$$d || exit 1; \
+	done
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -46,7 +47,7 @@ func BenchmarkFig5Convergence(b *testing.B) {
 			var normal, conn, virt, rounds float64
 			for i := 0; i < b.N; i++ {
 				nw, _ := buildRandom(n, int64(i), 0)
-				res, err := sim.RunToStable(nw, sim.Options{})
+				res, err := sim.RunToStable(context.Background(), nw, sim.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -75,7 +76,7 @@ func BenchmarkFig6Rounds(b *testing.B) {
 				ids := topogen.RandomIDs(n, rng)
 				nw := topogen.Random().Build(ids, rng, rechord.Config{})
 				idl := rechord.ComputeIdeal(ids)
-				res, err := sim.RunToStable(nw, sim.Options{Ideal: idl})
+				res, err := sim.RunToStable(context.Background(), nw, sim.Options{Ideal: idl})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -96,7 +97,7 @@ func BenchmarkFig7EdgeDensity(b *testing.B) {
 			var nodes, edges float64
 			for i := 0; i < b.N; i++ {
 				nw, _ := buildRandom(n, int64(i), 0)
-				res, err := sim.RunToStable(nw, sim.Options{})
+				res, err := sim.RunToStable(context.Background(), nw, sim.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -119,7 +120,7 @@ func BenchmarkConvergenceShapes(b *testing.B) {
 				rng := rand.New(rand.NewSource(int64(i)))
 				ids := topogen.RandomIDs(45, rng)
 				nw := gen.Build(ids, rng, rechord.Config{})
-				res, err := sim.RunToStable(nw, sim.Options{})
+				res, err := sim.RunToStable(context.Background(), nw, sim.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -153,7 +154,7 @@ func benchChurn(b *testing.B, kind string) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				rng := rand.New(rand.NewSource(int64(i)))
-				nw, ids, err := churn.StableNetwork(n, rng, rechord.Config{})
+				nw, ids, err := churn.StableNetwork(context.Background(), n, rng, rechord.Config{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -165,7 +166,7 @@ func benchChurn(b *testing.B, kind string) {
 					ev.ID = ids[rng.Intn(len(ids))]
 				}
 				b.StartTimer()
-				rec, err := churn.Apply(nw, ev, 0)
+				rec, err := churn.Apply(context.Background(), nw, ev, 0)
 				if err != nil || !rec.Stable {
 					b.Fatalf("%v (stable=%v)", err, rec.Stable)
 				}
@@ -180,7 +181,7 @@ func benchChurn(b *testing.B, kind string) {
 // Fact 2.1 on a converged network.
 func BenchmarkFact21Check(b *testing.B) {
 	nw, ids := buildRandom(45, 1, 0)
-	if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+	if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 		b.Fatal(err)
 	}
 	idl := rechord.ComputeIdeal(ids)
@@ -206,7 +207,7 @@ func BenchmarkLookup(b *testing.B) {
 	for _, n := range benchSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			rng := rand.New(rand.NewSource(1))
-			nw, ids, err := churn.StableNetwork(n, rng, rechord.Config{})
+			nw, ids, err := churn.StableNetwork(context.Background(), n, rng, rechord.Config{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -294,7 +295,7 @@ func BenchmarkWorkload(b *testing.B) {
 			var p50, p99, hops, tput float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := workload.Run(nw, workload.Config{
+				res, err := workload.Run(context.Background(), nw, workload.Config{
 					Workers:      8,
 					Ops:          opsPerRun,
 					Keyspace:     2048,
@@ -332,7 +333,7 @@ func BenchmarkRound(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("%s/n=105", name), func(b *testing.B) {
 			rng := rand.New(rand.NewSource(1))
-			nw, _, err := churn.StableNetwork(105, rng, rechord.Config{Workers: workers})
+			nw, _, err := churn.StableNetwork(context.Background(), 105, rng, rechord.Config{Workers: workers})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -366,7 +367,7 @@ func steadyNet(b *testing.B, n int, full bool) *rechord.Network {
 		for i := 0; i < 12; i++ {
 			nw.Step()
 		}
-	} else if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+	} else if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 		b.Fatal(err)
 	}
 	steadyCache[key] = nw
@@ -410,7 +411,7 @@ func BenchmarkChurnRecoveryLarge(b *testing.B) {
 		rng := rand.New(rand.NewSource(int64(i)))
 		ids := topogen.RandomIDs(n, rng)
 		nw := topogen.PreStabilized().Build(ids, rng, rechord.Config{})
-		if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+		if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 			b.Fatal(err)
 		}
 		victim := ids[rng.Intn(len(ids))]
@@ -418,7 +419,7 @@ func BenchmarkChurnRecoveryLarge(b *testing.B) {
 		if err := nw.Fail(victim); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+		if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -428,7 +429,7 @@ func BenchmarkChurnRecoveryLarge(b *testing.B) {
 // compare), the other engine hot path.
 func BenchmarkSnapshot(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
-	nw, _, err := churn.StableNetwork(105, rng, rechord.Config{})
+	nw, _, err := churn.StableNetwork(context.Background(), 105, rng, rechord.Config{})
 	if err != nil {
 		b.Fatal(err)
 	}

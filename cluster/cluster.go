@@ -1,0 +1,477 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/churn"
+	"repro/internal/dht"
+	"repro/internal/ident"
+	"repro/internal/rechord"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topogen"
+)
+
+// PeerID identifies a peer: a point on the identifier circle [0, 1)
+// represented as a 64-bit fixed-point fraction.
+type PeerID uint64
+
+// String renders the identifier the way the rest of the system does.
+func (p PeerID) String() string { return ident.ID(p).String() }
+
+func (p PeerID) id() ident.ID { return ident.ID(p) }
+
+// RoundMetrics is one round's topology snapshot (re-exported from the
+// metrics layer: real/virtual node and per-kind edge counts).
+type RoundMetrics = sim.RoundMetrics
+
+// Histogram is the mergeable streaming histogram the telemetry uses
+// (re-exported so reports can be post-processed without reaching into
+// internal packages).
+type Histogram = stats.Histogram
+
+// Cluster is a live Re-Chord system behind one coherent API: the round
+// engine, the epoch-cached router, the sharded store, and the traffic
+// engine, wired once.
+type Cluster struct {
+	cfg config
+
+	// mu serializes network mutation (lifecycle, stabilization, write
+	// side) against routing reads (KV operations, read side).
+	mu    sync.RWMutex
+	nw    *rechord.Network
+	store *dht.Store
+	cache *routing.Cache // nil when the router cache is disabled
+	rng   *rand.Rand     // guarded by mu (write side)
+	homes []ident.ID     // current membership, sorted; guarded by mu
+
+	homeCtr   atomic.Uint64
+	fallbacks atomic.Int64
+	closed    atomic.Bool
+	bus       eventBus
+}
+
+// failoverResolver routes through the epoch-cached table router and
+// falls back to the state-walk router when a table is incomplete or
+// stale mid-churn.
+type failoverResolver struct {
+	cache     *routing.Cache
+	walk      routing.Walker
+	fallbacks *atomic.Int64
+}
+
+func (r failoverResolver) Resolve(from, key ident.ID) (ident.ID, int, error) {
+	if owner, hops, err := r.cache.Resolve(from, key); err == nil {
+		return owner, hops, nil
+	}
+	r.fallbacks.Add(1)
+	return r.walk.Resolve(from, key)
+}
+
+// New builds a cluster from the options. The default is 32 peers,
+// seed 1, already settled in the unique stable topology, with the
+// epoch-cached router enabled; non-stable topologies come back
+// un-stabilized and need one Stabilize(ctx) call. Construction errors
+// match ErrConfig (bad options) or ErrUnstable (the seeded stable
+// state failed verification).
+func New(opts ...Option) (*Cluster, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rcfg := rechord.Config{
+		Workers:           cfg.workers,
+		FullSweep:         cfg.fullSweep,
+		DisableRing:       cfg.disableRing,
+		DisableConnection: cfg.disableConnection,
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	var nw *rechord.Network
+	if cfg.topology == TopologyStable {
+		var err error
+		nw, _, err = churn.StableNetwork(context.Background(), cfg.size, rng, rcfg)
+		if err != nil {
+			return nil, fmt.Errorf("%w: seeding the stable topology: %v", ErrUnstable, err)
+		}
+	} else {
+		ids := topogen.RandomIDs(cfg.size, rng)
+		nw = generators()[cfg.topology].Build(ids, rng, rcfg)
+	}
+
+	c := &Cluster{cfg: cfg, nw: nw, rng: rng, homes: nw.Peers()}
+	var resolver dht.Resolver
+	if cfg.routerCache {
+		c.cache = routing.NewCache(nw)
+		resolver = failoverResolver{cache: c.cache, walk: routing.Walker{NW: nw}, fallbacks: &c.fallbacks}
+	} else {
+		resolver = routing.Walker{NW: nw}
+	}
+	c.store = dht.NewWithResolver(nw, resolver)
+	return c, nil
+}
+
+// ready gates every operation on the cluster being open and the
+// context not already done.
+func (c *Cluster) ready(ctx context.Context) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// home picks the next home peer round-robin. Callers hold mu (either
+// side); homes is never empty while the cluster is open.
+func (c *Cluster) home() ident.ID {
+	return c.homes[(c.homeCtr.Add(1)-1)%uint64(len(c.homes))]
+}
+
+// refreshHomes re-reads the membership. Callers hold the write lock.
+func (c *Cluster) refreshHomes() { c.homes = c.nw.Peers() }
+
+// Close shuts the cluster down: every subscriber channel is closed and
+// every subsequent operation returns ErrClosed. Close is idempotent.
+func (c *Cluster) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	c.bus.close()
+	return nil
+}
+
+// Subscribe returns a stream of cluster events and a cancel function.
+// buf is the channel's buffer (default 16 when <= 0); events that do
+// not fit are dropped for that subscriber, never blocking the cluster.
+func (c *Cluster) Subscribe(buf int) (<-chan Event, func()) {
+	return c.bus.subscribe(buf)
+}
+
+// EventsDropped returns how many events were dropped across all
+// subscribers because their buffers were full.
+func (c *Cluster) EventsDropped() uint64 { return c.bus.dropped.Load() }
+
+// ---- Lifecycle ----------------------------------------------------
+
+// Join adds a fresh peer with a seed-derived random identifier,
+// introduced to one random existing peer (the paper's join: "a peer
+// connects to one peer in the network"), and returns its identifier.
+// The network is left un-stabilized; call Stabilize to repair it.
+func (c *Cluster) Join(ctx context.Context) (PeerID, error) {
+	if err := c.ready(ctx); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var id ident.ID
+	for {
+		id = ident.ID(c.rng.Uint64() | 1)
+		if c.nw.Peer(id) == nil {
+			break
+		}
+	}
+	contact := c.homes[c.rng.Intn(len(c.homes))]
+	if err := c.nw.Join(id, contact); err != nil {
+		return 0, fmt.Errorf("%w: join: %v", ErrUnknownPeer, err)
+	}
+	c.refreshHomes()
+	c.bus.publish(Event{Kind: EventPeerJoined, Peer: PeerID(id), Round: c.nw.Round()})
+	return PeerID(id), nil
+}
+
+// Leave removes the peer gracefully: its virtual nodes introduce their
+// neighbors to one another before departing. The network is left
+// un-stabilized; call Stabilize to repair it.
+func (c *Cluster) Leave(ctx context.Context, p PeerID) error {
+	return c.depart(ctx, p, "leave")
+}
+
+// Fail crashes the peer: no goodbyes, its edges dangle until the
+// repair rules purge them. The network is left un-stabilized; call
+// Stabilize to repair it.
+func (c *Cluster) Fail(ctx context.Context, p PeerID) error {
+	return c.depart(ctx, p, "fail")
+}
+
+func (c *Cluster) depart(ctx context.Context, p PeerID, kind string) error {
+	if err := c.ready(ctx); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.homes) <= 1 {
+		return fmt.Errorf("%w: cannot remove the last peer %s", ErrConfig, p)
+	}
+	var err error
+	ev := Event{Peer: p}
+	switch kind {
+	case "leave":
+		err, ev.Kind = c.nw.Leave(p.id()), EventPeerLeft
+	default:
+		err, ev.Kind = c.nw.Fail(p.id()), EventPeerFailed
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrUnknownPeer, kind, err)
+	}
+	c.refreshHomes()
+	ev.Round = c.nw.Round()
+	c.bus.publish(ev)
+	return nil
+}
+
+// StabilizeReport is the outcome of one Stabilize call.
+type StabilizeReport struct {
+	// Stable reports whether the global fixed point was reached.
+	Stable bool
+	// Rounds is the number of rounds up to the last state change.
+	Rounds int
+	// AlmostStableRound is the first round after which every desired
+	// edge existed; -1 when not observed or not tracked.
+	AlmostStableRound int
+	// Messages counts all protocol messages across the run.
+	Messages int
+	// Final is the converged topology snapshot.
+	Final RoundMetrics
+	// Series holds per-round metrics when requested.
+	Series []RoundMetrics
+}
+
+type stabilizeOpts struct {
+	maxRounds    int
+	series       bool
+	almostStable bool
+}
+
+// StabilizeOption tunes one Stabilize call.
+type StabilizeOption func(*stabilizeOpts)
+
+// StabilizeMaxRounds bounds the run (0 = a generous default derived
+// from the network size, comfortably above the paper's O(n log n)).
+func StabilizeMaxRounds(n int) StabilizeOption {
+	return func(o *stabilizeOpts) { o.maxRounds = n }
+}
+
+// StabilizeSeries records per-round metrics into the report.
+func StabilizeSeries() StabilizeOption {
+	return func(o *stabilizeOpts) { o.series = true }
+}
+
+// StabilizeAlmostStable tracks the paper's "almost stable" state (the
+// first round after which every desired edge exists), at the cost of
+// computing the oracle topology for the current membership.
+func StabilizeAlmostStable() StabilizeOption {
+	return func(o *stabilizeOpts) { o.almostStable = true }
+}
+
+// Stabilize runs repair rounds until the global state reaches its
+// fixed point, the round budget is exhausted, or the context is done.
+// On success the store is rebalanced onto the (possibly changed)
+// ownership and stale router-cache entries are pruned, a region-
+// settled event is published, and — when any peer's state changed — an
+// epoch-bumped event too. Cancellation returns ctx.Err() with the
+// network left at a round barrier (resume by calling Stabilize again);
+// an exhausted budget returns ErrUnstable.
+func (c *Cluster) Stabilize(ctx context.Context, opts ...StabilizeOption) (StabilizeReport, error) {
+	var o stabilizeOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := c.ready(ctx); err != nil {
+		return StabilizeReport{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	epoch0 := c.nw.EpochClock()
+	simOpt := sim.Options{MaxRounds: o.maxRounds, TrackSeries: o.series}
+	if o.almostStable {
+		simOpt.Ideal = rechord.ComputeIdeal(c.nw.Peers())
+	}
+	res := sim.Run(ctx, c.nw, simOpt)
+	rep := StabilizeReport{
+		Stable:            res.Stable,
+		Rounds:            res.Rounds,
+		AlmostStableRound: res.AlmostStableRound,
+		Messages:          res.TotalMessages,
+		Final:             res.Final,
+		Series:            res.Series,
+	}
+	if epoch := c.nw.EpochClock(); epoch != epoch0 {
+		c.bus.publish(Event{Kind: EventEpochBumped, Epoch: epoch, Round: c.nw.Round()})
+	}
+	if res.Canceled {
+		return rep, ctx.Err()
+	}
+	if !res.Stable {
+		return rep, fmt.Errorf("%w: %d peers still repairing after %d rounds", ErrUnstable, c.nw.NumPeers(), res.Rounds)
+	}
+	if _, err := c.store.Rebalance(); err != nil {
+		return rep, fmt.Errorf("%w: rebalance: %v", ErrUnknownPeer, err)
+	}
+	if c.cache != nil {
+		c.cache.Prune()
+	}
+	c.bus.publish(Event{Kind: EventRegionSettled, Rounds: rep.Rounds, Peers: c.nw.NumPeers(), Round: c.nw.Round()})
+	return rep, nil
+}
+
+// Quiescent reports whether the network is at its global fixed point:
+// no peer's inputs changed since it last reached a local fixed point
+// (an O(1) check on the incremental engine).
+func (c *Cluster) Quiescent() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nw.Quiescent()
+}
+
+// ---- KV -----------------------------------------------------------
+
+// Put stores the key-value pair, routed over the overlay from a
+// round-robin home peer to the key's owner.
+func (c *Cluster) Put(ctx context.Context, key, value string) error {
+	if err := c.ready(ctx); err != nil {
+		return err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, _, err := c.store.Put(c.home(), key, value)
+	return opError("put", key, err)
+}
+
+// Get fetches the value for the key. A missing key returns ErrNotFound
+// (routing reached the owner, the key is absent there); ErrNoRoute
+// means the lookup could not complete and nothing is known.
+func (c *Cluster) Get(ctx context.Context, key string) (string, error) {
+	if err := c.ready(ctx); err != nil {
+		return "", err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, _, err := c.store.Get(c.home(), key)
+	return v, opError("get", key, err)
+}
+
+// Delete removes the key, reporting whether it existed.
+func (c *Cluster) Delete(ctx context.Context, key string) (bool, error) {
+	if err := c.ready(ctx); err != nil {
+		return false, err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	existed, _, err := c.store.Delete(c.home(), key)
+	return existed, opError("delete", key, err)
+}
+
+// Lookup routes the key from a round-robin home peer to its owner
+// without touching stored data, returning the owner and the number of
+// inter-peer hops the lookup took.
+func (c *Cluster) Lookup(ctx context.Context, key string) (PeerID, int, error) {
+	if err := c.ready(ctx); err != nil {
+		return 0, 0, err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	owner, hops, err := c.store.ResolveKey(c.home(), key)
+	if err != nil {
+		return 0, hops, opError("lookup", key, err)
+	}
+	return PeerID(owner), hops, nil
+}
+
+// Owner returns the peer a key belongs to under consistent hashing —
+// the successor of the key's identifier on the current membership.
+func (c *Cluster) Owner(key string) PeerID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return PeerID(ident.Successor(c.homes, dht.KeyID(key)))
+}
+
+// Keys returns the number of stored key-value pairs.
+func (c *Cluster) Keys() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.store.Len()
+}
+
+// ---- Introspection ------------------------------------------------
+
+// Peers returns the current membership in increasing identifier order.
+func (c *Cluster) Peers() []PeerID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]PeerID, len(c.homes))
+	for i, id := range c.homes {
+		out[i] = PeerID(id)
+	}
+	return out
+}
+
+// Size returns the number of peers.
+func (c *Cluster) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nw.NumPeers()
+}
+
+// Round returns the number of protocol rounds executed so far.
+func (c *Cluster) Round() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nw.Round()
+}
+
+// Metrics returns the current topology snapshot: real and virtual node
+// counts and per-kind edge counts.
+func (c *Cluster) Metrics() RoundMetrics {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return sim.Measure(c.nw)
+}
+
+// VerifyStable checks the network against the oracle: the unique
+// stable topology for the current membership. A deviation returns an
+// error matching ErrUnstable with the first difference found.
+func (c *Cluster) VerifyStable() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if err := rechord.ComputeIdeal(c.nw.Peers()).Matches(c.nw); err != nil {
+		return fmt.Errorf("%w: %v", ErrUnstable, err)
+	}
+	return nil
+}
+
+// LocallyStable counts the peers whose purely local stability check
+// passes (the paper's local checkability: at the fixed point all do).
+func (c *Cluster) LocallyStable() (stable, total int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nw.CountLocallyStable(), c.nw.NumPeers()
+}
+
+// DOT renders the current overlay graph in Graphviz DOT format.
+func (c *Cluster) DOT() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nw.Graph().DOT()
+}
+
+// CacheStats returns the router cache's hit/miss counters and how many
+// table-route failures fell back to the state walk (all zero when the
+// cache is disabled).
+func (c *Cluster) CacheStats() (hits, misses uint64, fallbacks int64) {
+	if c.cache != nil {
+		hits, misses = c.cache.Stats()
+	}
+	return hits, misses, c.fallbacks.Load()
+}

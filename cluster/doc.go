@@ -1,0 +1,46 @@
+// Package cluster is the public facade of the Re-Chord reproduction:
+// one context-aware API over the four layers every consumer used to
+// hand-wire — the self-stabilizing round engine (internal/rechord +
+// internal/sim), the epoch-cached Chord router (internal/routing), the
+// sharded key-value store (internal/dht), and the concurrent traffic
+// engine (internal/workload).
+//
+// A Cluster is built with functional options and consumed through four
+// method groups:
+//
+//   - Lifecycle: Join, Leave, Fail apply membership events;
+//     Stabilize(ctx) runs the six Re-Chord repair rules to the global
+//     fixed point (cancellable, deadline-bounded); Quiescent reports
+//     whether the network is at that fixed point.
+//   - KV: Get, Put, Delete and Lookup route operations over the
+//     overlay from round-robin home peers, through the epoch-cached
+//     table router with a state-walk fallback, surfacing the unified
+//     error taxonomy (ErrNotFound, ErrNoRoute, ErrUnknownPeer, ...).
+//   - Traffic: RunWorkload(ctx, cfg) drives the concurrent workload
+//     engine — client workers, pluggable key distributions, churn
+//     interleaved with the traffic — and returns merged telemetry.
+//   - Events: Subscribe returns a stream of lifecycle events (peer
+//     joined/left/failed, region settled, epoch bumped), replacing
+//     ad-hoc polling of frontier sizes and quiescence flags.
+//
+// # Concurrency model
+//
+// The facade serializes network mutation against routing reads with
+// one RWMutex, the same discipline internal/workload uses: KV methods
+// take the read side, lifecycle methods and Stabilize take the write
+// side. Stabilize and RunWorkload hold the write side for their whole
+// run, so KV callers block until they return; both honor context
+// cancellation, observed between protocol rounds, so the network is
+// always released at a round barrier in a consistent, steppable state.
+// RunWorkload's internal interleaving (lookups racing re-stabilization
+// mid-churn) happens inside the workload engine under its own lock.
+//
+// # Event-stream contract
+//
+// Subscribe(buf) returns a buffered channel and a cancel function.
+// Publishing never blocks the cluster: an event that does not fit in a
+// subscriber's buffer is dropped for that subscriber (EventsDropped
+// counts them), so a slow consumer can lose events but never stall
+// lifecycle operations. Events are published after the state change
+// they describe is visible; Close closes every subscriber channel.
+package cluster

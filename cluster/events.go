@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// EventKind identifies what happened.
+type EventKind uint8
+
+const (
+	// EventPeerJoined: a peer entered the cluster (Event.Peer).
+	EventPeerJoined EventKind = iota + 1
+	// EventPeerLeft: a peer departed gracefully (Event.Peer).
+	EventPeerLeft
+	// EventPeerFailed: a peer crashed (Event.Peer).
+	EventPeerFailed
+	// EventRegionSettled: a stabilization reached the global fixed
+	// point; Event.Rounds is the number of repair rounds it took and
+	// Event.Peers the membership size at that point.
+	EventRegionSettled
+	// EventEpochBumped: some peer's protocol state changed since the
+	// last observation; Event.Epoch is the new value of the global
+	// epoch clock (any routing table cached before it may be stale).
+	EventEpochBumped
+)
+
+// String returns the kind's wire name.
+func (k EventKind) String() string {
+	switch k {
+	case EventPeerJoined:
+		return "peer-joined"
+	case EventPeerLeft:
+		return "peer-left"
+	case EventPeerFailed:
+		return "peer-failed"
+	case EventRegionSettled:
+		return "region-settled"
+	case EventEpochBumped:
+		return "epoch-bumped"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one entry of the cluster's event stream.
+type Event struct {
+	Kind EventKind
+	// Peer is the subject of a joined/left/failed event.
+	Peer PeerID
+	// Round is the protocol round at which the event was published.
+	Round int
+	// Rounds is, for EventRegionSettled, the number of repair rounds
+	// the stabilization took.
+	Rounds int
+	// Peers is, for EventRegionSettled, the membership size.
+	Peers int
+	// Epoch is, for EventEpochBumped, the new epoch-clock value.
+	Epoch int
+}
+
+// eventBus fans events out to subscribers without ever blocking the
+// publisher: a full subscriber buffer drops the event for that
+// subscriber and counts it.
+type eventBus struct {
+	mu      sync.Mutex
+	subs    map[int]chan Event
+	next    int
+	closed  bool
+	dropped atomic.Uint64
+}
+
+func (b *eventBus) subscribe(buf int) (<-chan Event, func()) {
+	if buf <= 0 {
+		buf = 16
+	}
+	ch := make(chan Event, buf)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	if b.subs == nil {
+		b.subs = make(map[int]chan Event)
+	}
+	id := b.next
+	b.next++
+	b.subs[id] = ch
+	return ch, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if c, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(c)
+		}
+	}
+}
+
+func (b *eventBus) publish(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ch := range b.subs {
+		select {
+		case ch <- ev:
+		default:
+			b.dropped.Add(1)
+		}
+	}
+}
+
+func (b *eventBus) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, ch := range b.subs {
+		delete(b.subs, id)
+		close(ch)
+	}
+}

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/topogen"
+	"repro/internal/workload"
+)
+
+// Topology names accepted by WithTopology. "stable" (the default)
+// builds the network already settled in the unique stable state; every
+// other name seeds the corresponding adversarial initial state and
+// leaves stabilization to the caller's Stabilize(ctx).
+const (
+	TopologyStable        = "stable"
+	TopologyRandom        = "random"
+	TopologyLine          = "line"
+	TopologyStar          = "star"
+	TopologyClique        = "clique"
+	TopologyBridged       = "bridged"
+	TopologyGarbage       = "garbage"
+	TopologyLoopy         = "loopy"
+	TopologyPreStabilized = "prestabilized"
+)
+
+// Key distributions accepted by WorkloadConfig.Distribution,
+// re-exported from the workload engine.
+const (
+	DistUniform = workload.DistUniform
+	DistZipf    = workload.DistZipf
+	DistHotspot = workload.DistHotspot
+)
+
+// Topologies returns every topology name WithTopology accepts.
+func Topologies() []string {
+	return []string{
+		TopologyStable, TopologyRandom, TopologyLine, TopologyStar,
+		TopologyClique, TopologyBridged, TopologyGarbage, TopologyLoopy,
+		TopologyPreStabilized,
+	}
+}
+
+type config struct {
+	size              int
+	seed              int64
+	topology          string
+	workers           int
+	routerCache       bool
+	fullSweep         bool
+	disableRing       bool
+	disableConnection bool
+}
+
+func defaultConfig() config {
+	return config{size: 32, seed: 1, topology: TopologyStable, routerCache: true}
+}
+
+// Option configures a Cluster at construction time.
+type Option func(*config)
+
+// WithSize sets the number of peers (default 32).
+func WithSize(n int) Option { return func(c *config) { c.size = n } }
+
+// WithSeed sets the seed driving every random choice: the peer
+// identifiers, the initial topology, joiner identifiers, and churn
+// event selection (default 1). Same options, same seed: the same
+// cluster.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithTopology selects the initial state (default TopologyStable). Any
+// non-stable topology is returned un-stabilized; run Stabilize(ctx) to
+// reach the fixed point.
+func WithTopology(name string) Option { return func(c *config) { c.topology = name } }
+
+// WithWorkers sets the number of goroutines the round engine uses to
+// run rules within a round (0 = all cores, 1 = serial). The result is
+// identical for any value.
+func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
+
+// WithRouterCache enables or disables the epoch-cached table router on
+// the KV path (default enabled). Disabled, every operation routes
+// through the state-walk router — the baseline the cache is measured
+// against.
+func WithRouterCache(on bool) Option { return func(c *config) { c.routerCache = on } }
+
+// WithFullSweep runs the paper's literal schedule — rules 1-6 at every
+// peer every round — instead of the activity-tracked incremental
+// scheduler. Round-by-round global states are identical; full sweep is
+// the equivalence baseline and debugging aid.
+func WithFullSweep() Option { return func(c *config) { c.fullSweep = true } }
+
+// WithAblation disables rule 5 (ring edges) and/or rule 6 (connection
+// edges), the paper's ablations. An ablated cluster cannot use the
+// stable topology (the oracle's stable state assumes all six rules).
+func WithAblation(disableRing, disableConnection bool) Option {
+	return func(c *config) {
+		c.disableRing = disableRing
+		c.disableConnection = disableConnection
+	}
+}
+
+func (c config) validate() error {
+	if c.size < 1 {
+		return fmt.Errorf("%w: size %d, need at least 1 peer", ErrConfig, c.size)
+	}
+	if c.workers < 0 {
+		return fmt.Errorf("%w: workers %d is negative", ErrConfig, c.workers)
+	}
+	if _, ok := generators()[c.topology]; !ok && c.topology != TopologyStable {
+		return fmt.Errorf("%w: unknown topology %q (want one of %v)", ErrConfig, c.topology, Topologies())
+	}
+	if c.topology == TopologyStable && (c.disableRing || c.disableConnection) {
+		return fmt.Errorf("%w: the stable topology requires all six rules; use a non-stable topology with WithAblation", ErrConfig)
+	}
+	return nil
+}
+
+// generators maps every non-stable topology name to its builder.
+func generators() map[string]topogen.Generator {
+	return map[string]topogen.Generator{
+		TopologyRandom:        topogen.Random(),
+		TopologyLine:          topogen.Line(),
+		TopologyStar:          topogen.Star(),
+		TopologyClique:        topogen.Clique(),
+		TopologyBridged:       topogen.BridgedPartitions(3),
+		TopologyGarbage:       topogen.Garbage(),
+		TopologyLoopy:         topogen.Loopy(),
+		TopologyPreStabilized: topogen.PreStabilized(),
+	}
+}

@@ -1,174 +1,195 @@
 // Command rechord-dht demonstrates the Chord emulation on top of a
-// stabilized Re-Chord network, in two modes.
+// stabilized Re-Chord network, consumed entirely through the public
+// cluster facade, in two modes.
 //
-// The default demo mode builds a network, stores key-value pairs
+// The default demo mode builds a cluster, stores key-value pairs
 // routed over the overlay, survives churn, and verifies every key
 // stays reachable:
 //
 //	rechord-dht -n 32 -keys 200 -churn 4 -seed 1
 //
-// Workload mode drives the internal/workload traffic engine —
-// concurrent client workers, pluggable key distributions, optional
-// churn interleaved with the traffic — and prints the latency and
-// hop-count percentile tables:
+// Workload mode drives the concurrent traffic engine — client workers,
+// pluggable key distributions, optional churn interleaved with the
+// traffic — and prints the latency and hop-count percentile tables:
 //
 //	rechord-dht -mode workload -n 64 -workers 8 -ops 50000 \
 //	    -dist zipf -churn 4 -seed 1
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
+	"io"
 	"os"
 	"time"
 
-	"repro/internal/churn"
-	"repro/internal/dht"
+	"repro/cluster"
 	"repro/internal/export"
-	"repro/internal/ident"
-	"repro/internal/rechord"
-	"repro/internal/routing"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 func main() {
-	var (
-		mode    = flag.String("mode", "demo", "demo or workload")
-		n       = flag.Int("n", 32, "number of peers")
-		seed    = flag.Int64("seed", 1, "random seed")
-		events  = flag.Int("churn", 4, "churn events (join/leave/fail) to apply")
-		keys    = flag.Int("keys", 200, "demo: number of key-value pairs")
-		workers = flag.Int("workers", 8, "workload: concurrent client workers")
-		ops     = flag.Int("ops", 20000, "workload: total operations")
-		keysp   = flag.Int("keyspace", 4096, "workload: distinct keys")
-		dist    = flag.String("dist", "uniform", "workload: key distribution (uniform, zipf, hotspot)")
-		rate    = flag.Float64("rate", 0, "workload: open-loop target ops/sec (0 = closed loop)")
-		nocache = flag.Bool("nocache", false, "workload: disable the epoch-cached table router")
-	)
-	flag.Parse()
-	var err error
-	switch *mode {
-	case "demo":
-		err = runDemo(*n, *keys, *events, *seed)
-	case "workload":
-		err = runWorkload(*n, *workers, *ops, *keysp, *events, *seed, *dist, *rate, *nocache)
-	default:
-		err = fmt.Errorf("unknown mode %q (want demo or workload)", *mode)
-	}
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "rechord-dht: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func runWorkload(n, workers, ops, keyspace, events int, seed int64, dist string, rate float64, nocache bool) error {
-	rng := rand.New(rand.NewSource(seed))
-	fmt.Printf("building a stable Re-Chord network of %d peers...\n", n)
-	nw, _, err := churn.StableNetwork(n, rng, rechord.Config{})
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rechord-dht", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		mode    = fs.String("mode", "demo", "demo or workload")
+		n       = fs.Int("n", 32, "number of peers")
+		seed    = fs.Int64("seed", 1, "random seed")
+		events  = fs.Int("churn", 4, "churn events (join/leave/fail) to apply")
+		keys    = fs.Int("keys", 200, "demo: number of key-value pairs")
+		workers = fs.Int("workers", 8, "workload: concurrent client workers")
+		ops     = fs.Int("ops", 20000, "workload: total operations")
+		keysp   = fs.Int("keyspace", 4096, "workload: distinct keys")
+		dist    = fs.String("dist", cluster.DistUniform, "workload: key distribution (uniform, zipf, hotspot)")
+		rate    = fs.Float64("rate", 0, "workload: open-loop target ops/sec (0 = closed loop)")
+		nocache = fs.Bool("nocache", false, "disable the epoch-cached table router")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *n <= 0 {
+		return fmt.Errorf("-n %d: need at least 1 peer", *n)
+	}
+	if *ops < 0 {
+		return fmt.Errorf("-ops %d is negative", *ops)
+	}
+	if *keys < 0 {
+		return fmt.Errorf("-keys %d is negative", *keys)
+	}
+	if *events < 0 {
+		return fmt.Errorf("-churn %d is negative", *events)
+	}
+	switch *dist {
+	case cluster.DistUniform, cluster.DistZipf, cluster.DistHotspot:
+	default:
+		return fmt.Errorf("-dist %q: want uniform, zipf or hotspot", *dist)
+	}
+	if *mode != "demo" && *mode != "workload" {
+		return fmt.Errorf("unknown mode %q (want demo or workload)", *mode)
+	}
+
+	fmt.Fprintf(stdout, "building a stable Re-Chord cluster of %d peers...\n", *n)
+	c, err := cluster.New(
+		cluster.WithSize(*n),
+		cluster.WithSeed(*seed),
+		cluster.WithRouterCache(!*nocache),
+	)
 	if err != nil {
 		return err
 	}
-	cfg := workload.Config{
-		Workers:      workers,
-		Ops:          ops,
-		Keyspace:     keyspace,
-		Distribution: dist,
-		Preload:      keyspace / 2,
-		Seed:         seed,
-		Rate:         rate,
-		NoCache:      nocache,
-		Churn:        workload.ChurnConfig{Events: events},
+	defer c.Close()
+
+	if *mode == "demo" {
+		return runDemo(c, stdout, *keys, *events)
 	}
-	fmt.Printf("workload: %d workers, %d ops, %s keys over %d, churn %d, cache %v\n",
-		cfg.Workers, cfg.Ops, dist, cfg.Keyspace, events, !nocache)
-	res, err := workload.Run(nw, cfg)
+	return runWorkload(c, stdout, cluster.WorkloadConfig{
+		Workers:      *workers,
+		Ops:          *ops,
+		Keyspace:     *keysp,
+		Distribution: *dist,
+		Preload:      *keysp / 2,
+		Seed:         *seed,
+		Rate:         *rate,
+		ChurnEvents:  *events,
+	}, !*nocache)
+}
+
+func runWorkload(c *cluster.Cluster, stdout io.Writer, cfg cluster.WorkloadConfig, cached bool) error {
+	fmt.Fprintf(stdout, "workload: %d workers, %d ops, %s keys over %d, churn %d, cache %v\n",
+		cfg.Workers, cfg.Ops, cfg.Distribution, cfg.Keyspace, cfg.ChurnEvents, cached)
+	res, err := c.RunWorkload(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Println(res.Summary())
-	fmt.Println()
+	fmt.Fprintln(stdout, res.Summary())
+	fmt.Fprintln(stdout)
 
 	ns := func(v float64) string { return time.Duration(v).Round(10 * time.Nanosecond).String() }
 	latRows := []export.HistRow{{Name: "all", H: res.Latency}}
 	hopRows := []export.HistRow{{Name: "all", H: res.Hops}}
 	for _, op := range res.PerOp {
-		op := op
 		latRows = append(latRows, export.HistRow{Name: op.Name, H: op.Latency})
 		hopRows = append(hopRows, export.HistRow{Name: op.Name, H: op.Hops})
 	}
-	if err := export.PercentileTable("operation latency", latRows, ns).WriteText(os.Stdout); err != nil {
+	if err := export.PercentileTable("operation latency", latRows, ns).WriteText(stdout); err != nil {
 		return err
 	}
-	fmt.Println()
-	if err := export.PercentileTable("lookup hops", hopRows, nil).WriteText(os.Stdout); err != nil {
+	fmt.Fprintln(stdout)
+	if err := export.PercentileTable("lookup hops", hopRows, nil).WriteText(stdout); err != nil {
 		return err
 	}
-	fmt.Println()
-	if !nocache {
+	fmt.Fprintln(stdout)
+	if cached {
 		total := res.CacheHits + res.CacheMisses
 		if total > 0 {
-			fmt.Printf("routing cache: %d hits / %d misses (%.1f%% hit rate), %d table-route fallbacks\n",
+			fmt.Fprintf(stdout, "routing cache: %d hits / %d misses (%.1f%% hit rate), %d table-route fallbacks\n",
 				res.CacheHits, res.CacheMisses, 100*float64(res.CacheHits)/float64(total), res.Fallbacks)
 		}
 	}
-	fmt.Printf("churn events applied: %d; final store: %d keys, fingerprint %016x; ops fingerprint %016x\n",
+	fmt.Fprintf(stdout, "churn events applied: %d; final store: %d keys, fingerprint %016x; ops fingerprint %016x\n",
 		res.ChurnApplied, res.StoreLen, res.StoreFingerprint, res.OpsFingerprint)
 	return nil
 }
 
-func runDemo(n, keys, events int, seed int64) error {
-	rng := rand.New(rand.NewSource(seed))
-	fmt.Printf("building a stable Re-Chord network of %d peers...\n", n)
-	nw, ids, err := churn.StableNetwork(n, rng, rechord.Config{})
-	if err != nil {
-		return err
-	}
+func runDemo(c *cluster.Cluster, stdout io.Writer, keys, events int) error {
+	ctx := context.Background()
 
-	store := dht.New(nw)
-	var hops []float64
+	// Watch the cluster's own event stream instead of polling.
+	stream, cancel := c.Subscribe(4 * (events + 2))
+	defer cancel()
+
 	for i := 0; i < keys; i++ {
-		key := fmt.Sprintf("object-%04d", i)
-		home := ids[rng.Intn(len(ids))]
-		_, h, err := store.Put(home, key, fmt.Sprintf("value-%04d", i))
+		if err := c.Put(ctx, fmt.Sprintf("object-%04d", i), fmt.Sprintf("value-%04d", i)); err != nil {
+			return err
+		}
+	}
+	// Hop statistics from a sample of routed lookups (up to 100), so
+	// the demo does not re-route every stored key.
+	var hops []float64
+	step := keys / 100
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < keys; i += step {
+		_, h, err := c.Lookup(ctx, fmt.Sprintf("object-%04d", i))
 		if err != nil {
 			return err
 		}
 		hops = append(hops, float64(h))
 	}
 	s := stats.Summarize(hops)
-	fmt.Printf("stored %d keys; routing hops: mean %.2f, max %.0f\n", store.Len(), s.Mean, s.Max)
+	fmt.Fprintf(stdout, "stored %d keys; lookup hops: mean %.2f, max %.0f\n", c.Keys(), s.Mean, s.Max)
 
-	fmt.Printf("applying %d churn events...\n", events)
-	for _, ev := range churn.RandomEvents(nw, events, rng) {
-		rec, err := churn.Apply(nw, ev, 0)
-		if err != nil {
-			return err
-		}
-		if !rec.Stable {
-			return fmt.Errorf("network did not re-stabilize after %s of %s", ev.Kind, ev.ID)
-		}
-		fmt.Printf("  %-5s %s: re-stabilized in %d rounds\n", ev.Kind, ev.ID, rec.Rounds)
-	}
-	if err := churn.VerifyStable(nw); err != nil {
-		return fmt.Errorf("network left the legal state: %w", err)
-	}
-	moved, err := store.Rebalance()
+	fmt.Fprintf(stdout, "applying %d churn events...\n", events)
+	recs, err := c.ChurnRandom(ctx, events)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("rebalanced: %d keys moved\n", moved)
+	for _, rec := range recs {
+		fmt.Fprintf(stdout, "  %-5s %s: re-stabilized in %d rounds\n", rec.Kind, rec.Peer, rec.Rounds)
+	}
+	if err := c.VerifyStable(); err != nil {
+		return err
+	}
 
-	// Every key must still be retrievable from a random home peer.
-	peers := nw.Peers()
+	// Every key must still be retrievable after the churn.
 	missing := 0
 	for i := 0; i < keys; i++ {
-		key := fmt.Sprintf("object-%04d", i)
-		v, _, err := store.Get(peers[rng.Intn(len(peers))], key)
+		v, err := c.Get(ctx, fmt.Sprintf("object-%04d", i))
 		switch {
-		case errors.Is(err, dht.ErrNotFound):
+		case errors.Is(err, cluster.ErrNotFound):
 			missing++
 		case err != nil:
 			return err
@@ -179,18 +200,20 @@ func runDemo(n, keys, events int, seed int64) error {
 	if missing > 0 {
 		return fmt.Errorf("%d keys lost after churn", missing)
 	}
-	fmt.Printf("all %d keys retrievable after churn; %d peers remain\n", keys, len(peers))
+	fmt.Fprintf(stdout, "all %d keys retrievable after churn; %d peers remain\n", keys, c.Size())
 
-	// Show one lookup's path.
-	key := "object-0000"
-	owner, path, err := routeDemo(nw, peers[0], key)
+	// Show one lookup and what the event stream saw.
+	owner, pathHops, err := c.Lookup(ctx, "object-0000")
 	if err != nil {
 		return err
 	}
-	fmt.Printf("lookup %q from %s: owner %s, path %v\n", key, peers[0], owner, path)
+	fmt.Fprintf(stdout, "lookup %q: owner %s in %d hops\n", "object-0000", owner, pathHops)
+	counts := map[string]int{}
+	for len(stream) > 0 {
+		counts[(<-stream).Kind.String()]++
+	}
+	fmt.Fprintf(stdout, "event stream: %d joins, %d leaves, %d failures, %d settles, %d epoch bumps\n",
+		counts["peer-joined"], counts["peer-left"], counts["peer-failed"],
+		counts["region-settled"], counts["epoch-bumped"])
 	return nil
-}
-
-func routeDemo(nw *rechord.Network, from ident.ID, key string) (ident.ID, []ident.ID, error) {
-	return routing.Route(nw, from, dht.KeyID(key))
 }

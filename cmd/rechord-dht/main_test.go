@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDemoSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "16", "-keys", "40", "-churn", "2", "-seed", "1"}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"stored 40 keys",
+		"all 40 keys retrievable after churn",
+		"event stream:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunWorkloadSmoke(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-mode", "workload", "-n", "16", "-workers", "2",
+		"-ops", "400", "-keyspace", "128", "-churn", "0", "-seed", "1"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"operation latency", "lookup hops", "ops fingerprint"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "0"},
+		{"-ops", "-5"},
+		{"-keys", "-1"},
+		{"-churn", "-2"},
+		{"-dist", "pareto"},
+		{"-mode", "bogus"},
+		{"-not-a-flag"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunHelpIsNotAnError(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Fatalf("run(-h) = %v, want nil", err)
+	}
+	if !strings.Contains(out.String(), "Usage") && !strings.Contains(out.String(), "-n") {
+		t.Errorf("help output missing usage text:\n%s", out.String())
+	}
+}

@@ -12,8 +12,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -40,17 +42,31 @@ var runners = map[string]func(experiments.Config) (*experiments.Result, error){
 }
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "rechord-figures: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rechord-figures", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		fig    = flag.Int("fig", 0, "regenerate one figure (5, 6 or 7)")
-		exp    = flag.String("exp", "", "run one experiment by name (see -list)")
-		list   = flag.Bool("list", false, "list experiment names")
-		quick  = flag.Bool("quick", false, "reduced sweep (for smoke testing)")
-		seed   = flag.Int64("seed", 1, "sweep seed")
-		reps   = flag.Int("reps", 0, "replications per size (0 = paper's 30, or 3 with -quick)")
-		plot   = flag.Bool("plot", true, "render ASCII plots where available")
-		csvDir = flag.String("csv", "", "directory to write CSV files to")
+		fig    = fs.Int("fig", 0, "regenerate one figure (5, 6 or 7)")
+		exp    = fs.String("exp", "", "run one experiment by name (see -list)")
+		list   = fs.Bool("list", false, "list experiment names")
+		quick  = fs.Bool("quick", false, "reduced sweep (for smoke testing)")
+		seed   = fs.Int64("seed", 1, "sweep seed")
+		reps   = fs.Int("reps", 0, "replications per size (0 = paper's 30, or 3 with -quick)")
+		plot   = fs.Bool("plot", true, "render ASCII plots where available")
+		csvDir = fs.String("csv", "", "directory to write CSV files to")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	if *list {
 		names := make([]string, 0, len(runners))
@@ -59,9 +75,16 @@ func main() {
 		}
 		sort.Strings(names)
 		for _, n := range names {
-			fmt.Println(n)
+			fmt.Fprintln(stdout, n)
 		}
-		return
+		return nil
+	}
+
+	if *fig != 0 && *fig != 5 && *fig != 6 && *fig != 7 {
+		return fmt.Errorf("-fig %d: the paper has figures 5, 6 and 7", *fig)
+	}
+	if *reps < 0 {
+		return fmt.Errorf("-reps %d is negative", *reps)
 	}
 
 	cfg := experiments.Default()
@@ -85,25 +108,22 @@ func main() {
 	}
 
 	for _, name := range names {
-		run, ok := runners[name]
+		runner, ok := runners[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "rechord-figures: unknown experiment %q (try -list)\n", name)
-			os.Exit(2)
+			return fmt.Errorf("unknown experiment %q (try -list)", name)
 		}
-		res, err := run(cfg)
+		res, err := runner(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rechord-figures: %s: %v\n", name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Println()
-		if err := res.Table.WriteText(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		fmt.Fprintln(stdout)
+		if err := res.Table.WriteText(stdout); err != nil {
+			return err
 		}
 		if *plot && len(res.Series) > 0 {
-			fmt.Println()
-			if err := export.Plot(os.Stdout, res.Name, 64, 14, res.Series...); err != nil {
-				fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stdout)
+			if err := export.Plot(stdout, res.Name, 64, 14, res.Series...); err != nil {
+				fmt.Fprintln(stdout, err)
 			}
 		}
 		keys := make([]string, 0, len(res.Fits))
@@ -113,31 +133,29 @@ func main() {
 		sort.Strings(keys)
 		for _, k := range keys {
 			f := res.Fits[k]
-			fmt.Printf("fit: %-22s ~ %8.3f * %-9s (R2 %.3f)\n", k, f.C, f.Shape.Name, f.R2)
+			fmt.Fprintf(stdout, "fit: %-22s ~ %8.3f * %-9s (R2 %.3f)\n", k, f.C, f.Shape.Name, f.R2)
 		}
 		for _, n := range res.Notes {
-			fmt.Printf("note: %s\n", n)
+			fmt.Fprintf(stdout, "note: %s\n", n)
 		}
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 			path := filepath.Join(*csvDir, res.Name+".csv")
 			f, err := os.Create(path)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 			if err := res.Table.WriteCSV(f); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				f.Close()
+				return err
 			}
 			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
-			fmt.Printf("csv: %s\n", path)
+			fmt.Fprintf(stdout, "csv: %s\n", path)
 		}
 	}
+	return nil
 }

@@ -1,6 +1,7 @@
 // Command rechord-sim runs one Re-Chord self-stabilization simulation
-// and reports convergence: rounds to the almost-stable and stable
-// states, per-round series, and the final topology statistics.
+// through the public cluster facade and reports convergence: rounds to
+// the almost-stable and stable states, per-round series, and the final
+// topology statistics.
 //
 // Usage:
 //
@@ -8,89 +9,109 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
+	"io"
 	"os"
+	"strings"
 
+	"repro/cluster"
 	"repro/internal/export"
-	"repro/internal/rechord"
-	"repro/internal/sim"
-	"repro/internal/topogen"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "rechord-sim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rechord-sim", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		n        = flag.Int("n", 25, "number of peers (real nodes)")
-		topology = flag.String("topology", "random", "initial topology: random|line|star|clique|bridged|garbage|prestabilized")
-		seed     = flag.Int64("seed", 1, "random seed")
-		workers  = flag.Int("workers", 0, "parallel workers per round (0 = all cores)")
-		series   = flag.Bool("series", false, "print the per-round metric series")
-		maxR     = flag.Int("max-rounds", 0, "round budget (0 = derived from n)")
-		dotFile  = flag.String("dot", "", "write the final graph in DOT format to this file")
+		n        = fs.Int("n", 25, "number of peers (real nodes)")
+		topology = fs.String("topology", cluster.TopologyRandom,
+			"initial topology: "+strings.Join(cluster.Topologies(), "|"))
+		seed    = fs.Int64("seed", 1, "random seed")
+		workers = fs.Int("workers", 0, "parallel workers per round (0 = all cores)")
+		series  = fs.Bool("series", false, "print the per-round metric series")
+		maxR    = fs.Int("max-rounds", 0, "round budget (0 = derived from n)")
+		dotFile = fs.String("dot", "", "write the final graph in DOT format to this file")
 	)
-	flag.Parse()
-
-	gen, ok := map[string]topogen.Generator{
-		"random":        topogen.Random(),
-		"line":          topogen.Line(),
-		"star":          topogen.Star(),
-		"clique":        topogen.Clique(),
-		"bridged":       topogen.BridgedPartitions(3),
-		"garbage":       topogen.Garbage(),
-		"prestabilized": topogen.PreStabilized(),
-	}[*topology]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "rechord-sim: unknown topology %q\n", *topology)
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *n <= 0 {
+		return fmt.Errorf("-n %d: need at least 1 peer", *n)
+	}
+	if *maxR < 0 {
+		return fmt.Errorf("-max-rounds %d is negative", *maxR)
 	}
 
-	rng := rand.New(rand.NewSource(*seed))
-	ids := topogen.RandomIDs(*n, rng)
-	nw := gen.Build(ids, rng, rechord.Config{Workers: *workers})
-	idl := rechord.ComputeIdeal(ids)
+	c, err := cluster.New(
+		cluster.WithSize(*n),
+		cluster.WithSeed(*seed),
+		cluster.WithTopology(*topology),
+		cluster.WithWorkers(*workers),
+	)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
 
-	res := sim.Run(nw, sim.Options{MaxRounds: *maxR, TrackSeries: *series, Ideal: idl})
+	opts := []cluster.StabilizeOption{
+		cluster.StabilizeMaxRounds(*maxR),
+		cluster.StabilizeAlmostStable(),
+	}
+	if *series {
+		opts = append(opts, cluster.StabilizeSeries())
+	}
+	rep, err := c.Stabilize(context.Background(), opts...)
+	if err != nil && !errors.Is(err, cluster.ErrUnstable) {
+		return err
+	}
 
-	fmt.Printf("peers: %d, topology: %s, seed: %d\n", *n, *topology, *seed)
-	if res.Stable {
-		fmt.Printf("stable after %d rounds (almost stable after %d)\n", res.Rounds, res.AlmostStableRound)
+	fmt.Fprintf(stdout, "peers: %d, topology: %s, seed: %d\n", *n, *topology, *seed)
+	if rep.Stable {
+		fmt.Fprintf(stdout, "stable after %d rounds (almost stable after %d)\n", rep.Rounds, rep.AlmostStableRound)
 	} else {
-		fmt.Printf("NOT stable after %d rounds\n", res.Rounds)
+		fmt.Fprintf(stdout, "NOT stable after %d rounds\n", rep.Rounds)
 	}
-	if err := idl.Matches(nw); err != nil {
-		fmt.Printf("final state deviates from the oracle: %v\n", err)
+	if verr := c.VerifyStable(); verr != nil {
+		fmt.Fprintf(stdout, "final state deviates from the oracle: %v\n", verr)
 	} else {
-		fmt.Println("final state matches the oracle stable topology")
+		fmt.Fprintln(stdout, "final state matches the oracle stable topology")
 	}
-	fmt.Printf("messages: %d\n", res.TotalMessages)
-	fmt.Printf("final: %d real + %d virtual nodes, %d unmarked + %d ring + %d connection edges\n",
-		res.Final.RealNodes, res.Final.VirtualNodes,
-		res.Final.UnmarkedEdges, res.Final.RingEdges, res.Final.ConnectionEdges)
+	fmt.Fprintf(stdout, "messages: %d\n", rep.Messages)
+	fmt.Fprintf(stdout, "final: %d real + %d virtual nodes, %d unmarked + %d ring + %d connection edges\n",
+		rep.Final.RealNodes, rep.Final.VirtualNodes,
+		rep.Final.UnmarkedEdges, rep.Final.RingEdges, rep.Final.ConnectionEdges)
 
 	if *series {
 		tab := export.NewTable("per-round series",
 			"round", "unmarked", "ring", "connection", "virtual", "messages")
-		for _, m := range res.Series {
+		for _, m := range rep.Series {
 			tab.AddRow(m.Round, m.UnmarkedEdges, m.RingEdges, m.ConnectionEdges, m.VirtualNodes, m.Messages)
 		}
-		if err := tab.WriteText(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := tab.WriteText(stdout); err != nil {
+			return err
 		}
 	}
 	// The paper's local-checkability insight, demonstrated: at the
 	// fixed point every peer's purely local check passes.
-	fmt.Printf("locally stable peers at the fixed point: %d/%d\n",
-		nw.CountLocallyStable(), nw.NumPeers())
+	stable, total := c.LocallyStable()
+	fmt.Fprintf(stdout, "locally stable peers at the fixed point: %d/%d\n", stable, total)
 	if *dotFile != "" {
-		if err := os.WriteFile(*dotFile, []byte(nw.Graph().DOT()), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "rechord-sim: %v\n", err)
-			os.Exit(1)
+		if err := os.WriteFile(*dotFile, []byte(c.DOT()), 0o644); err != nil {
+			return err
 		}
-		fmt.Printf("final graph written to %s\n", *dotFile)
+		fmt.Fprintf(stdout, "final graph written to %s\n", *dotFile)
 	}
-	if !res.Stable {
-		os.Exit(1)
-	}
+	return err
 }

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "12", "-seed", "3"}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"stable after",
+		"matches the oracle stable topology",
+		"locally stable peers at the fixed point: 12/12",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSeries(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "8", "-seed", "1", "-series"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "per-round series") {
+		t.Errorf("series table missing:\n%s", out.String())
+	}
+}
+
+func TestRunLoopyTopology(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "9", "-seed", "2", "-topology", "loopy"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "stable after") {
+		t.Errorf("loopy topology did not stabilize:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "0"},
+		{"-n", "-3"},
+		{"-topology", "moebius"},
+		{"-max-rounds", "-1"},
+		{"-definitely-not-a-flag"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunHelpIsNotAnError(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Fatalf("run(-h) = %v, want nil", err)
+	}
+	if !strings.Contains(out.String(), "Usage") && !strings.Contains(out.String(), "-n") {
+		t.Errorf("help output missing usage text:\n%s", out.String())
+	}
+}

@@ -1,43 +1,59 @@
-// Churn: a stable Re-Chord network absorbs joins, graceful leaves and
+// Churn: a stable Re-Chord cluster absorbs joins, graceful leaves and
 // crash failures, re-stabilizing after each event (Theorems 4.1 and
-// 4.2: O(log^2 n) for joins, O(log n) for departures).
+// 4.2: O(log^2 n) for joins, O(log n) for departures) — all through
+// the cluster facade's lifecycle methods and event stream.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"repro/internal/churn"
-	"repro/internal/ident"
-	"repro/internal/rechord"
+	"repro/cluster"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(11))
-	nw, ids, err := churn.StableNetwork(24, rng, rechord.Config{})
+	c, err := cluster.New(cluster.WithSize(24), cluster.WithSeed(11))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("stable network of %d peers\n", nw.NumPeers())
+	defer c.Close()
+	fmt.Printf("stable cluster of %d peers\n", c.Size())
 
-	events := []churn.Event{
-		{Kind: "join", ID: ident.ID(rng.Uint64() | 1), Contact: ids[0]},
-		{Kind: "join", ID: ident.ID(rng.Uint64() | 1), Contact: ids[5]},
-		{Kind: "leave", ID: ids[3]},
-		{Kind: "fail", ID: ids[9]},
-		{Kind: "join", ID: ident.ID(rng.Uint64() | 1), Contact: ids[12]},
+	ctx := context.Background()
+	events, unsubscribe := c.Subscribe(64)
+	defer unsubscribe()
+
+	// Two joins, one graceful leave, one crash failure, one more join —
+	// each followed by a cancellable stabilization whose report carries
+	// the recovery cost.
+	step := func(kind string, apply func() error) {
+		if err := apply(); err != nil {
+			log.Fatal(err)
+		}
+		rep, err := c.Stabilize(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5s -> re-stabilized in %2d rounds\n", kind, rep.Rounds)
 	}
-	recs, err := churn.RunSequence(nw, events, 0)
-	if err != nil {
-		log.Fatal(err)
+	var peers []cluster.PeerID
+	step("join", func() error { p, err := c.Join(ctx); peers = append(peers, p); return err })
+	step("join", func() error { p, err := c.Join(ctx); peers = append(peers, p); return err })
+	step("leave", func() error { return c.Leave(ctx, peers[0]) })
+	step("fail", func() error { return c.Fail(ctx, c.Peers()[3]) })
+	step("join", func() error { _, err := c.Join(ctx); return err })
+
+	if err := c.VerifyStable(); err != nil {
+		log.Fatalf("cluster not in the legal state: %v", err)
 	}
-	for _, rec := range recs {
-		fmt.Printf("%-5s %-10s -> re-stabilized in %2d rounds\n",
-			rec.Event.Kind, rec.Event.ID, rec.Rounds)
+	fmt.Printf("cluster of %d peers back in the exact stable topology\n", c.Size())
+
+	counts := map[cluster.EventKind]int{}
+	for len(events) > 0 {
+		counts[(<-events).Kind]++
 	}
-	if err := churn.VerifyStable(nw); err != nil {
-		log.Fatalf("network not in the legal state: %v", err)
-	}
-	fmt.Printf("network of %d peers back in the exact stable topology\n", nw.NumPeers())
+	fmt.Printf("event stream: %d joins, %d leaves, %d failures, %d settles\n",
+		counts[cluster.EventPeerJoined], counts[cluster.EventPeerLeft],
+		counts[cluster.EventPeerFailed], counts[cluster.EventRegionSettled])
 }

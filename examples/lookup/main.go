@@ -1,65 +1,51 @@
-// Lookup: emulate Chord on a stabilized Re-Chord network. Every peer's
-// routing table (successor + fingers) is read off its own virtual
-// nodes' closest-real-neighbor state, lookups resolve in O(log n)
-// hops, and the workload engine serves concurrent DHT traffic over the
-// overlay through the epoch-cached table router.
+// Lookup: emulate Chord on a stabilized Re-Chord cluster. Lookups
+// resolve over the overlay in O(log n) hops through the epoch-cached
+// table router, a key-value round-trip rides on top, and the workload
+// engine serves concurrent DHT traffic — all through the cluster
+// facade.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
-	"os"
-	"time"
 
-	"repro/internal/churn"
-	"repro/internal/dht"
-	"repro/internal/export"
-	"repro/internal/ident"
-	"repro/internal/rechord"
-	"repro/internal/routing"
-	"repro/internal/stats"
-	"repro/internal/workload"
+	"repro/cluster"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(21))
-	nw, ids, err := churn.StableNetwork(64, rng, rechord.Config{})
+	c, err := cluster.New(cluster.WithSize(64), cluster.WithSeed(21))
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// A peer's Chord view, extracted from its Re-Chord state only.
-	tab, err := routing.TableOf(nw, ids[0])
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("peer %s: successor %s, %d fingers\n", tab.Self, tab.Successor, len(tab.Fingers))
+	defer c.Close()
+	ctx := context.Background()
 
 	// Random lookups: correct owner, logarithmic path length.
-	var hops []float64
-	for i := 0; i < 500; i++ {
-		key := ident.ID(rng.Uint64())
-		want, _ := routing.Owner(nw, key)
-		got, path, err := routing.Route(nw, ids[rng.Intn(len(ids))], key)
+	var sum, max int
+	const lookups = 500
+	for i := 0; i < lookups; i++ {
+		key := fmt.Sprintf("probe-%04d", i)
+		owner, hops, err := c.Lookup(ctx, key)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if got != want {
-			log.Fatalf("lookup(%s) = %s, want %s", key, got, want)
+		if want := c.Owner(key); owner != want {
+			log.Fatalf("lookup(%s) = %s, want %s", key, owner, want)
 		}
-		hops = append(hops, float64(len(path)-1))
+		sum += hops
+		if hops > max {
+			max = hops
+		}
 	}
-	s := stats.Summarize(hops)
-	fmt.Printf("500 lookups over %d peers: mean %.2f hops, max %.0f (log2 n = 6)\n",
-		len(ids), s.Mean, s.Max)
+	fmt.Printf("%d lookups over %d peers: mean %.2f hops, max %d (log2 n = 6)\n",
+		lookups, c.Size(), float64(sum)/lookups, max)
 
 	// A quick DHT round-trip on top.
-	store := dht.New(nw)
-	if _, _, err := store.Put(ids[3], "user:042", "profile-042"); err != nil {
+	if err := c.Put(ctx, "user:042", "profile-042"); err != nil {
 		log.Fatal(err)
 	}
-	v, _, err := store.Get(ids[7], "user:042")
+	v, err := c.Get(ctx, "user:042")
 	if err != nil {
 		log.Fatalf("Get failed: %v", err)
 	}
@@ -69,9 +55,8 @@ func main() {
 	// => same op stream and same final store contents, per
 	// distribution. Zipf concentrates the traffic, so its cache hit
 	// rate and tail behave differently from uniform.
-	ns := func(v float64) string { return time.Duration(v).Round(10 * time.Nanosecond).String() }
-	for _, dist := range []string{workload.DistUniform, workload.DistZipf} {
-		res, err := workload.Run(nw, workload.Config{
+	for _, dist := range []string{cluster.DistUniform, cluster.DistZipf} {
+		res, err := c.RunWorkload(ctx, cluster.WorkloadConfig{
 			Workers:      8,
 			Ops:          8000,
 			Keyspace:     1024,
@@ -83,11 +68,8 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("workload %-8s %s\n", dist+":", res.Summary())
-		rows := []export.HistRow{{Name: dist + " latency", H: res.Latency}}
-		if err := export.PercentileTable("", rows, ns).WriteText(os.Stdout); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("hops: mean %.2f p99 %.0f; cache: %d hits / %d misses\n\n",
+		fmt.Printf("latency: p50 %.0fns p99 %.0fns; hops: mean %.2f p99 %.0f; cache: %d hits / %d misses\n\n",
+			res.Latency.Percentile(50), res.Latency.Percentile(99),
 			res.Hops.Mean(), res.Hops.Percentile(99), res.CacheHits, res.CacheMisses)
 	}
 }

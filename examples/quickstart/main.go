@@ -1,48 +1,71 @@
-// Quickstart: build a random weakly connected network of peers, run
-// the six Re-Chord self-stabilization rules to the fixed point, and
-// verify the result is the legal Chord-containing topology.
+// Quickstart: build a random weakly connected cluster of peers, run
+// the six Re-Chord self-stabilization rules to the fixed point through
+// the public cluster facade (cancellable via context), verify the
+// result is the legal Chord-containing topology, and watch a join ride
+// the event stream.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
+	"time"
 
-	"repro/internal/rechord"
-	"repro/internal/sim"
-	"repro/internal/topogen"
+	"repro/cluster"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(42))
-
 	// 25 peers with uniformly random identifiers in [0,1), initially
 	// connected as a random weakly connected graph — the paper's
 	// Section 5 initialization.
-	ids := topogen.RandomIDs(25, rng)
-	nw := topogen.Random().Build(ids, rng, rechord.Config{})
+	c, err := cluster.New(
+		cluster.WithSize(25),
+		cluster.WithSeed(42),
+		cluster.WithTopology(cluster.TopologyRandom),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
 
-	// The oracle knows the unique stable topology for this peer set;
-	// it also provides the paper's "almost stable" detector.
-	ideal := rechord.ComputeIdeal(ids)
-
-	// Run synchronous rounds until the global state stops changing.
-	res, err := sim.RunToStable(nw, sim.Options{Ideal: ideal})
+	// Run synchronous repair rounds until the global state stops
+	// changing. The context bounds the run: a deadline or cancel stops
+	// it at a round barrier, resumable by calling Stabilize again.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := c.Stabilize(ctx, cluster.StabilizeAlmostStable())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("stable after %d rounds (all desired edges existed after %d)\n",
-		res.Rounds, res.AlmostStableRound)
+		rep.Rounds, rep.AlmostStableRound)
 
 	// The converged state is exactly the stable Re-Chord network ...
-	if err := ideal.Matches(nw); err != nil {
+	if err := c.VerifyStable(); err != nil {
 		log.Fatalf("unexpected final state: %v", err)
 	}
 	fmt.Println("final state matches the oracle topology")
 
 	// ... which contains Chord as a subgraph (Fact 2.1): peers, their
 	// ring successors, and all fingers.
-	m := sim.Measure(nw)
+	m := c.Metrics()
 	fmt.Printf("%d real nodes simulate %d virtual nodes; %d unmarked, %d ring, %d connection edges\n",
 		m.RealNodes, m.VirtualNodes, m.UnmarkedEdges, m.RingEdges, m.ConnectionEdges)
+
+	// The event stream replaces polling: subscribe, join a peer, and
+	// watch the lifecycle and repair events arrive.
+	events, unsubscribe := c.Subscribe(16)
+	defer unsubscribe()
+	joined, err := c.Join(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.Stabilize(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("peer %s joined; events seen:", joined)
+	for len(events) > 0 {
+		fmt.Printf(" %s", (<-events).Kind)
+	}
+	fmt.Println()
 }

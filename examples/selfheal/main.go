@@ -1,45 +1,50 @@
-// Selfheal: push the network into pathological weakly connected
-// states — a line, a clique, a garbage state with stale virtual nodes
-// and wrong edge markings, and the loopy state that defeats classic
-// Chord — and watch Re-Chord recover the correct topology from each.
+// Selfheal: push the cluster into pathological weakly connected
+// states — a line, a star, a clique, bridged partitions, a garbage
+// state with stale virtual nodes, and the loopy state that defeats
+// classic Chord — and watch Re-Chord recover the correct topology from
+// each through the cluster facade. The classic Chord baseline runs
+// beside it to show why the loopy state matters.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
+	"repro/cluster"
 	"repro/internal/chord"
-	"repro/internal/graph"
-	"repro/internal/ident"
-	"repro/internal/rechord"
-	"repro/internal/ref"
-	"repro/internal/sim"
 	"repro/internal/topogen"
 )
 
 func main() {
 	const n = 33
-	for _, gen := range []topogen.Generator{
-		topogen.Line(), topogen.Star(), topogen.Clique(),
-		topogen.BridgedPartitions(3), topogen.Garbage(),
+	ctx := context.Background()
+	for _, topo := range []string{
+		cluster.TopologyLine, cluster.TopologyStar, cluster.TopologyClique,
+		cluster.TopologyBridged, cluster.TopologyGarbage,
 	} {
-		rng := rand.New(rand.NewSource(7))
-		ids := topogen.RandomIDs(n, rng)
-		nw := gen.Build(ids, rng, rechord.Config{})
-		res, err := sim.RunToStable(nw, sim.Options{Ideal: rechord.ComputeIdeal(ids)})
+		c, err := cluster.New(
+			cluster.WithSize(n),
+			cluster.WithSeed(7),
+			cluster.WithTopology(topo),
+		)
 		if err != nil {
-			log.Fatalf("%s: %v", gen.Name, err)
+			log.Fatal(err)
 		}
-		if err := rechord.ComputeIdeal(ids).Matches(nw); err != nil {
-			log.Fatalf("%s: wrong final state: %v", gen.Name, err)
+		rep, err := c.Stabilize(ctx, cluster.StabilizeAlmostStable())
+		if err != nil {
+			log.Fatalf("%s: %v", topo, err)
+		}
+		if err := c.VerifyStable(); err != nil {
+			log.Fatalf("%s: wrong final state: %v", topo, err)
 		}
 		fmt.Printf("%-11s healed in %3d rounds (almost stable after %d)\n",
-			gen.Name, res.Rounds, res.AlmostStableRound)
+			topo, rep.Rounds, rep.AlmostStableRound)
+		c.Close()
 	}
 
-	// The loopy state: classic Chord's maintenance is stuck forever,
-	// Re-Chord heals it.
+	// The loopy state: classic Chord's maintenance is stuck forever.
 	rng := rand.New(rand.NewSource(8))
 	ids := topogen.RandomIDs(n, rng)
 	cs := chord.Loopy(ids)
@@ -49,20 +54,21 @@ func main() {
 	fmt.Printf("\nclassic Chord after 100 maintenance rounds from the loopy state: correct ring = %v\n",
 		cs.IsCorrectRing())
 
-	nw := rechord.NewNetwork(rechord.Config{})
-	sorted := append([]ident.ID(nil), ids...)
-	ident.Sort(sorted)
-	for _, id := range sorted {
-		nw.AddPeer(id)
-	}
-	stride := chord.LoopyStride(n)
-	for i, id := range sorted {
-		nw.SeedEdge(ref.Real(id), ref.Real(sorted[(i+stride)%n]), graph.Unmarked)
-	}
-	res, err := sim.RunToStable(nw, sim.Options{})
+	// Re-Chord from the same kind of state, via the facade's loopy
+	// topology: healed.
+	c, err := cluster.New(
+		cluster.WithSize(n),
+		cluster.WithSeed(8),
+		cluster.WithTopology(cluster.TopologyLoopy),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ok := rechord.ComputeIdeal(ids).Matches(nw) == nil
-	fmt.Printf("Re-Chord from the same loopy state: correct topology = %v after %d rounds\n", ok, res.Rounds)
+	defer c.Close()
+	rep, err := c.Stabilize(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok := c.VerifyStable() == nil
+	fmt.Printf("Re-Chord from the same loopy state: correct topology = %v after %d rounds\n", ok, rep.Rounds)
 }

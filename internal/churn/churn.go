@@ -5,6 +5,7 @@
 package churn
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -34,12 +35,12 @@ type Recovery struct {
 // StableNetwork builds a network of n random peers already in the
 // stable state (seeded from the oracle and verified by one fixed-point
 // check).
-func StableNetwork(n int, rng *rand.Rand, cfg rechord.Config) (*rechord.Network, []ident.ID, error) {
+func StableNetwork(ctx context.Context, n int, rng *rand.Rand, cfg rechord.Config) (*rechord.Network, []ident.ID, error) {
 	ids := topogen.RandomIDs(n, rng)
 	nw := topogen.PreStabilized().Build(ids, rng, cfg)
 	// Let the seeded state settle into the true fixed point (the seed
 	// lacks the steady-state message flow).
-	res, err := sim.RunToStable(nw, sim.Options{MaxRounds: sim.DefaultMaxRounds(n)})
+	res, err := sim.RunToStable(ctx, nw, sim.Options{MaxRounds: sim.DefaultMaxRounds(n)})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -52,7 +53,7 @@ func StableNetwork(n int, rng *rand.Rand, cfg rechord.Config) (*rechord.Network,
 
 // Apply executes one event and runs the network to the next fixed
 // point, returning the recovery cost.
-func Apply(nw *rechord.Network, ev Event, maxRounds int) (Recovery, error) {
+func Apply(ctx context.Context, nw *rechord.Network, ev Event, maxRounds int) (Recovery, error) {
 	switch ev.Kind {
 	case "join":
 		if err := nw.Join(ev.ID, ev.Contact); err != nil {
@@ -72,7 +73,10 @@ func Apply(nw *rechord.Network, ev Event, maxRounds int) (Recovery, error) {
 	if maxRounds <= 0 {
 		maxRounds = sim.DefaultMaxRounds(nw.NumPeers())
 	}
-	res := sim.Run(nw, sim.Options{MaxRounds: maxRounds})
+	res := sim.Run(ctx, nw, sim.Options{MaxRounds: maxRounds})
+	if res.Canceled {
+		return Recovery{Event: ev, Rounds: res.Rounds}, ctx.Err()
+	}
 	return Recovery{Event: ev, Rounds: res.Rounds, Stable: res.Stable}, nil
 }
 
@@ -84,10 +88,10 @@ func VerifyStable(nw *rechord.Network) error {
 
 // RunSequence applies a series of events, verifying convergence to the
 // correct stable state after each one.
-func RunSequence(nw *rechord.Network, events []Event, maxRounds int) ([]Recovery, error) {
+func RunSequence(ctx context.Context, nw *rechord.Network, events []Event, maxRounds int) ([]Recovery, error) {
 	out := make([]Recovery, 0, len(events))
 	for _, ev := range events {
-		rec, err := Apply(nw, ev, maxRounds)
+		rec, err := Apply(ctx, nw, ev, maxRounds)
 		if err != nil {
 			return out, err
 		}

@@ -1,6 +1,7 @@
 package churn
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 
 func TestStableNetworkIsStable(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	nw, ids, err := StableNetwork(20, rng, rechord.Config{Workers: 2})
+	nw, ids, err := StableNetwork(context.Background(), 20, rng, rechord.Config{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,12 +25,12 @@ func TestStableNetworkIsStable(t *testing.T) {
 
 func TestJoinRecovers(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	nw, ids, err := StableNetwork(25, rng, rechord.Config{})
+	nw, ids, err := StableNetwork(context.Background(), 25, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	newID := ident.ID(rng.Uint64() | 1)
-	rec, err := Apply(nw, Event{Kind: "join", ID: newID, Contact: ids[rng.Intn(len(ids))]}, 0)
+	rec, err := Apply(context.Background(), nw, Event{Kind: "join", ID: newID, Contact: ids[rng.Intn(len(ids))]}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestJoinSmallerAndLargerContact(t *testing.T) {
 	// Section 4.1 distinguishes joining via a smaller vs. a larger
 	// peer; both must work.
 	rng := rand.New(rand.NewSource(3))
-	nw, ids, err := StableNetwork(15, rng, rechord.Config{})
+	nw, ids, err := StableNetwork(context.Background(), 15, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestJoinSmallerAndLargerContact(t *testing.T) {
 	mid := sorted[len(sorted)/2] + (sorted[len(sorted)/2+1]-sorted[len(sorted)/2])/2
 	for i, contact := range []ident.ID{sorted[0], sorted[len(sorted)-1]} {
 		id := mid + ident.ID(i+1)
-		rec, err := Apply(nw, Event{Kind: "join", ID: id, Contact: contact}, 0)
+		rec, err := Apply(context.Background(), nw, Event{Kind: "join", ID: id, Contact: contact}, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,11 +73,11 @@ func TestJoinSmallerAndLargerContact(t *testing.T) {
 
 func TestLeaveRecovers(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	nw, ids, err := StableNetwork(25, rng, rechord.Config{})
+	nw, ids, err := StableNetwork(context.Background(), 25, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := Apply(nw, Event{Kind: "leave", ID: ids[rng.Intn(len(ids))]}, 0)
+	rec, err := Apply(context.Background(), nw, Event{Kind: "leave", ID: ids[rng.Intn(len(ids))]}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,11 +92,11 @@ func TestLeaveRecovers(t *testing.T) {
 
 func TestFailRecovers(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	nw, ids, err := StableNetwork(25, rng, rechord.Config{})
+	nw, ids, err := StableNetwork(context.Background(), 25, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := Apply(nw, Event{Kind: "fail", ID: ids[rng.Intn(len(ids))]}, 0)
+	rec, err := Apply(context.Background(), nw, Event{Kind: "fail", ID: ids[rng.Intn(len(ids))]}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestFailExtremePeers(t *testing.T) {
 	// edges at once — the hardest single failure.
 	for trial, pick := range []string{"min", "max"} {
 		rng := rand.New(rand.NewSource(int64(60 + trial)))
-		nw, ids, err := StableNetwork(15, rng, rechord.Config{})
+		nw, ids, err := StableNetwork(context.Background(), 15, rng, rechord.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +123,7 @@ func TestFailExtremePeers(t *testing.T) {
 		if pick == "max" {
 			victim = sorted[len(sorted)-1]
 		}
-		rec, err := Apply(nw, Event{Kind: "fail", ID: victim}, 0)
+		rec, err := Apply(context.Background(), nw, Event{Kind: "fail", ID: victim}, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,12 +138,12 @@ func TestFailExtremePeers(t *testing.T) {
 
 func TestRandomChurnSequence(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
-	nw, _, err := StableNetwork(12, rng, rechord.Config{})
+	nw, _, err := StableNetwork(context.Background(), 12, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	events := RandomEvents(nw, 10, rng)
-	recs, err := RunSequence(nw, events, 0)
+	recs, err := RunSequence(context.Background(), nw, events, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,20 +154,20 @@ func TestRandomChurnSequence(t *testing.T) {
 
 func TestApplyErrors(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	nw, ids, err := StableNetwork(5, rng, rechord.Config{})
+	nw, ids, err := StableNetwork(context.Background(), 5, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Apply(nw, Event{Kind: "bogus"}, 1); err == nil {
+	if _, err := Apply(context.Background(), nw, Event{Kind: "bogus"}, 1); err == nil {
 		t.Error("unknown event kind must error")
 	}
-	if _, err := Apply(nw, Event{Kind: "join", ID: ids[0], Contact: ids[1]}, 1); err == nil {
+	if _, err := Apply(context.Background(), nw, Event{Kind: "join", ID: ids[0], Contact: ids[1]}, 1); err == nil {
 		t.Error("joining an existing id must error")
 	}
-	if _, err := Apply(nw, Event{Kind: "leave", ID: ident.ID(12345)}, 1); err == nil {
+	if _, err := Apply(context.Background(), nw, Event{Kind: "leave", ID: ident.ID(12345)}, 1); err == nil {
 		t.Error("leaving an absent id must error")
 	}
-	if _, err := Apply(nw, Event{Kind: "fail", ID: ident.ID(12345)}, 1); err == nil {
+	if _, err := Apply(context.Background(), nw, Event{Kind: "fail", ID: ident.ID(12345)}, 1); err == nil {
 		t.Error("failing an absent id must error")
 	}
 }
@@ -175,7 +176,7 @@ func TestConcurrentJoins(t *testing.T) {
 	// Two peers joining in the same round — beyond the paper's
 	// "isolated join" analysis but the protocol must still converge.
 	rng := rand.New(rand.NewSource(8))
-	nw, ids, err := StableNetwork(10, rng, rechord.Config{})
+	nw, ids, err := StableNetwork(context.Background(), 10, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestConcurrentJoins(t *testing.T) {
 	if err := nw.Join(b, ids[len(ids)-1]); err != nil {
 		t.Fatal(err)
 	}
-	rec, err := Apply(nw, Event{Kind: "join", ID: ident.ID(rng.Uint64() | 1), Contact: a}, 0)
+	rec, err := Apply(context.Background(), nw, Event{Kind: "join", ID: ident.ID(rng.Uint64() | 1), Contact: a}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

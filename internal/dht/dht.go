@@ -94,6 +94,20 @@ func (s *Store) checkHome(home ident.ID) error {
 	return nil
 }
 
+// ResolveKey routes from the home peer to the key's owner without
+// touching stored data, returning the owner and the number of
+// inter-peer hops the lookup took.
+func (s *Store) ResolveKey(home ident.ID, key string) (ident.ID, int, error) {
+	if err := s.checkHome(home); err != nil {
+		return 0, 0, fmt.Errorf("dht: lookup %q: %w", key, err)
+	}
+	owner, hops, err := s.resolve.Resolve(home, KeyID(key))
+	if err != nil {
+		return 0, hops, fmt.Errorf("dht: lookup %q: %w", key, err)
+	}
+	return owner, hops, nil
+}
+
 // Put stores the key-value pair, routing from the given home peer to
 // the key's owner. It returns the owner and the number of inter-peer
 // hops the lookup took.

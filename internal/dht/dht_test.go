@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -15,7 +16,7 @@ import (
 
 func TestPutGetDelete(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	nw, ids, err := churn.StableNetwork(20, rng, rechord.Config{})
+	nw, ids, err := churn.StableNetwork(context.Background(), 20, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestPutGetDelete(t *testing.T) {
 
 func TestTypedErrors(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	nw, ids, err := churn.StableNetwork(8, rng, rechord.Config{})
+	nw, ids, err := churn.StableNetwork(context.Background(), 8, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestTypedErrors(t *testing.T) {
 
 func TestOwnerConsistentAcrossHomes(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	nw, ids, err := churn.StableNetwork(30, rng, rechord.Config{})
+	nw, ids, err := churn.StableNetwork(context.Background(), 30, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestOwnerConsistentAcrossHomes(t *testing.T) {
 
 func TestCachedResolverAgreesWithWalker(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
-	nw, ids, err := churn.StableNetwork(24, rng, rechord.Config{})
+	nw, ids, err := churn.StableNetwork(context.Background(), 24, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestCachedResolverAgreesWithWalker(t *testing.T) {
 
 func TestLoadSpread(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	nw, ids, err := churn.StableNetwork(16, rng, rechord.Config{})
+	nw, ids, err := churn.StableNetwork(context.Background(), 16, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestConcurrentClientsShardedStore(t *testing.T) {
 	// locking. The network is stable and only read, so no external
 	// serialization is needed.
 	rng := rand.New(rand.NewSource(8))
-	nw, ids, err := churn.StableNetwork(16, rng, rechord.Config{})
+	nw, ids, err := churn.StableNetwork(context.Background(), 16, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestConcurrentClientsShardedStore(t *testing.T) {
 
 func TestFingerprintIgnoresBucketPlacement(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	nw, ids, err := churn.StableNetwork(10, rng, rechord.Config{})
+	nw, ids, err := churn.StableNetwork(context.Background(), 10, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestFingerprintIgnoresBucketPlacement(t *testing.T) {
 	before := s.Fingerprint()
 	// A join plus rebalance moves pairs between buckets without
 	// changing the key -> value contents.
-	rec, err := churn.Apply(nw, churn.Event{Kind: "join", ID: ident.ID(rng.Uint64() | 1), Contact: ids[0]}, 0)
+	rec, err := churn.Apply(context.Background(), nw, churn.Event{Kind: "join", ID: ident.ID(rng.Uint64() | 1), Contact: ids[0]}, 0)
 	if err != nil || !rec.Stable {
 		t.Fatalf("join failed: %v (stable=%v)", err, rec.Stable)
 	}
@@ -228,7 +229,7 @@ func TestFingerprintIgnoresBucketPlacement(t *testing.T) {
 
 func TestRebalanceAfterJoin(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	nw, ids, err := churn.StableNetwork(10, rng, rechord.Config{})
+	nw, ids, err := churn.StableNetwork(context.Background(), 10, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestRebalanceAfterJoin(t *testing.T) {
 		}
 	}
 	// A new peer joins and the network re-stabilizes.
-	rec, err := churn.Apply(nw, churn.Event{Kind: "join", ID: ident.ID(rng.Uint64() | 1), Contact: ids[0]}, 0)
+	rec, err := churn.Apply(context.Background(), nw, churn.Event{Kind: "join", ID: ident.ID(rng.Uint64() | 1), Contact: ids[0]}, 0)
 	if err != nil || !rec.Stable {
 		t.Fatalf("join failed: %v (stable=%v)", err, rec.Stable)
 	}

@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -75,7 +76,7 @@ func (c Config) runOne(n, rep int, gen topogen.Generator) (sim.Result, *rechord.
 	ids := topogen.RandomIDs(n, rng)
 	nw := gen.Build(ids, rng, rechord.Config{Workers: c.Workers})
 	idl := rechord.ComputeIdeal(ids)
-	res, err := sim.RunToStable(nw, sim.Options{Ideal: idl})
+	res, err := sim.RunToStable(context.Background(), nw, sim.Options{Ideal: idl})
 	if err != nil {
 		return res, nw, err
 	}
@@ -280,7 +281,7 @@ func churnExperiment(cfg Config, kind, title string) (*Result, error) {
 		var rs []float64
 		for rep := 0; rep < cfg.Reps; rep++ {
 			rng := cfg.rng(n, rep)
-			nw, ids, err := churn.StableNetwork(n, rng, rechord.Config{Workers: cfg.Workers})
+			nw, ids, err := churn.StableNetwork(context.Background(), n, rng, rechord.Config{Workers: cfg.Workers})
 			if err != nil {
 				return nil, err
 			}
@@ -292,7 +293,7 @@ func churnExperiment(cfg Config, kind, title string) (*Result, error) {
 			default:
 				ev.ID = ids[rng.Intn(len(ids))]
 			}
-			rec, err := churn.Apply(nw, ev, 0)
+			rec, err := churn.Apply(context.Background(), nw, ev, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -469,7 +470,7 @@ func ChordFail(cfg Config) (*Result, error) {
 			nw.SeedEdge(ref.Real(id), ref.Real(sorted[(i+stride)%len(sorted)]), graph.Unmarked)
 		}
 		idl := rechord.ComputeIdeal(ids)
-		res, err := sim.RunToStable(nw, sim.Options{Ideal: idl})
+		res, err := sim.RunToStable(context.Background(), nw, sim.Options{Ideal: idl})
 		if err != nil {
 			return nil, err
 		}
@@ -528,7 +529,7 @@ func Lookup(cfg Config) (*Result, error) {
 	var xs, ys []float64
 	for _, n := range cfg.Sizes {
 		rng := cfg.rng(n, 0)
-		nw, ids, err := churn.StableNetwork(n, rng, rechord.Config{Workers: cfg.Workers})
+		nw, ids, err := churn.StableNetwork(context.Background(), n, rng, rechord.Config{Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -587,7 +588,7 @@ func Ablation(cfg Config) (*Result, error) {
 			ids := topogen.RandomIDs(n, rng)
 			nw := topogen.Random().Build(ids, rng, variant.cfg)
 			idl := rechord.ComputeIdeal(ids)
-			res := sim.Run(nw, sim.Options{MaxRounds: sim.DefaultMaxRounds(n)})
+			res := sim.Run(context.Background(), nw, sim.Options{MaxRounds: sim.DefaultMaxRounds(n)})
 			g := nw.Graph()
 			tab.AddRow(n, variant.name, res.Stable, g.UnmarkedWeaklyConnected(), idl.Matches(nw) == nil)
 		}

@@ -1,6 +1,7 @@
 package rechord_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestAsyncDegeneratesToSynchronous(t *testing.T) {
 	ids := topogen.RandomIDs(12, rng)
 
 	syncNW := topogen.Line().Build(ids, rand.New(rand.NewSource(93)), rechord.Config{Workers: 1})
-	res, err := sim.RunToStable(syncNW, sim.Options{})
+	res, err := sim.RunToStable(context.Background(), syncNW, sim.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

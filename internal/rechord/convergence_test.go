@@ -1,6 +1,7 @@
 package rechord_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestConvergenceSmall(t *testing.T) {
 		ids := topogen.RandomIDs(n, rng)
 		nw := topogen.Random().Build(ids, rng, rechord.Config{Workers: 1})
 		idl := rechord.ComputeIdeal(ids)
-		res, err := sim.RunToStable(nw, sim.Options{Ideal: idl})
+		res, err := sim.RunToStable(context.Background(), nw, sim.Options{Ideal: idl})
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}

@@ -1,6 +1,7 @@
 package rechord_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestMultipleSimultaneousFailures(t *testing.T) {
 		rng := rand.New(rand.NewSource(int64(200 + trial)))
 		ids := topogen.RandomIDs(24, rng)
 		nw := topogen.PreStabilized().Build(ids, rng, rechord.Config{})
-		if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+		if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 			t.Fatal(err)
 		}
 		// Crash 4 random peers at once.
@@ -32,7 +33,7 @@ func TestMultipleSimultaneousFailures(t *testing.T) {
 			// trials 4 of 24 failures must not disconnect it.
 			t.Fatalf("trial %d: survivors disconnected (unlucky cut)", trial)
 		}
-		if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+		if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		if err := rechord.ComputeIdeal(nw.Peers()).Matches(nw); err != nil {
@@ -61,7 +62,7 @@ func TestFailuresDuringConvergence(t *testing.T) {
 				t.Skipf("trial %d: failure cut the still-converging graph; premise void", trial)
 			}
 		}
-		if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+		if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		if err := rechord.ComputeIdeal(nw.Peers()).Matches(nw); err != nil {
@@ -77,7 +78,7 @@ func TestJoinStormThenStable(t *testing.T) {
 	rng := rand.New(rand.NewSource(400))
 	ids := topogen.RandomIDs(6, rng)
 	nw := topogen.PreStabilized().Build(ids, rng, rechord.Config{})
-	if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+	if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	joiners := topogen.RandomIDs(12, rng)
@@ -86,7 +87,7 @@ func TestJoinStormThenStable(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+	if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if nw.NumPeers() != 18 {
@@ -104,7 +105,7 @@ func TestShrinkToOnePeer(t *testing.T) {
 	rng := rand.New(rand.NewSource(500))
 	ids := topogen.RandomIDs(8, rng)
 	nw := topogen.PreStabilized().Build(ids, rng, rechord.Config{})
-	if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+	if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	for nw.NumPeers() > 1 {
@@ -119,7 +120,7 @@ func TestShrinkToOnePeer(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+		if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 			t.Fatalf("at %d peers: %v", nw.NumPeers(), err)
 		}
 		if err := rechord.ComputeIdeal(nw.Peers()).Matches(nw); err != nil {

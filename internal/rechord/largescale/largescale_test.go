@@ -10,6 +10,7 @@
 package largescale
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -28,7 +29,7 @@ func TestN4096ConvergesToIdeal(t *testing.T) {
 	ids := topogen.RandomIDs(n, rng)
 	nw := topogen.PreStabilized().Build(ids, rng, rechord.Config{})
 	start := time.Now()
-	res, err := sim.RunToStable(nw, sim.Options{})
+	res, err := sim.RunToStable(context.Background(), nw, sim.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestN1024ChurnAbsorbedLocally(t *testing.T) {
 	rng := rand.New(rand.NewSource(1024))
 	ids := topogen.RandomIDs(n, rng)
 	nw := topogen.PreStabilized().Build(ids, rng, rechord.Config{})
-	if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+	if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := nw.Fail(ids[n/2]); err != nil {
@@ -75,7 +76,7 @@ func TestN1024ChurnAbsorbedLocally(t *testing.T) {
 	if woken == 0 || woken > n/4 {
 		t.Errorf("failure woke %d peers, want a small local neighborhood (0 < woken <= %d)", woken, n/4)
 	}
-	if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+	if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := rechord.ComputeIdeal(nw.Peers()).Matches(nw); err != nil {

@@ -1,6 +1,7 @@
 package rechord_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -22,7 +23,7 @@ func TestBeyondPaperScale(t *testing.T) {
 		ids := topogen.RandomIDs(n, rng)
 		nw := topogen.Random().Build(ids, rng, rechord.Config{})
 		idl := rechord.ComputeIdeal(ids)
-		res, err := sim.RunToStable(nw, sim.Options{Ideal: idl})
+		res, err := sim.RunToStable(context.Background(), nw, sim.Options{Ideal: idl})
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}

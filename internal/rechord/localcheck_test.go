@@ -1,6 +1,7 @@
 package rechord_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -49,7 +50,7 @@ func TestLocalCheckDetectsPerturbation(t *testing.T) {
 	rng := rand.New(rand.NewSource(78))
 	ids := topogen.RandomIDs(12, rng)
 	nw := topogen.Random().Build(ids, rng, rechord.Config{Workers: 1})
-	if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+	if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if nw.CountLocallyStable() != nw.NumPeers() {
@@ -69,7 +70,7 @@ func TestLocalCheckDetectsPerturbation(t *testing.T) {
 		t.Fatal("peer with damaged neighborhood passes the local check")
 	}
 	// And the protocol repairs it.
-	if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+	if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := rechord.ComputeIdeal(ids).Matches(nw); err != nil {
@@ -96,7 +97,7 @@ func TestLocalCheckMonotoneCount(t *testing.T) {
 	if got := nw.CountLocallyStable(); got == nw.NumPeers() {
 		t.Fatalf("all %d peers locally stable right after round 1 of a line", got)
 	}
-	if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+	if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := nw.CountLocallyStable(); got != nw.NumPeers() {

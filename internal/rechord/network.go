@@ -266,6 +266,13 @@ func (nw *Network) PeerEpoch(id ident.ID) (int, bool) {
 	return n.epoch, true
 }
 
+// EpochClock returns the current value of the global epoch clock: the
+// monotone counter that stamps per-peer change epochs. It advances
+// whenever any peer's protocol state changes, so observing it move
+// between two points in time means some peer's state (and any derived
+// cache entry) changed in between.
+func (nw *Network) EpochClock() int { return nw.epochClock }
+
 // SeedEdge gives the peer owning `from` initial knowledge of `to` as an
 // edge of the kind, creating the source virtual node if needed. Used to
 // build arbitrary initial states.

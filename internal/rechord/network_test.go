@@ -1,6 +1,7 @@
 package rechord_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -78,7 +79,7 @@ func TestFixedPointIsForever(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	ids := topogen.RandomIDs(25, rng)
 	nw := topogen.Random().Build(ids, rng, rechord.Config{})
-	if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+	if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	fixed := nw.TakeSnapshot()
@@ -99,7 +100,7 @@ func TestStableStateIsFixedPoint(t *testing.T) {
 	// The seeded state lacks the steady-state in-flight flows, so let
 	// it settle briefly; it must reach the exact ideal state quickly
 	// (a handful of rounds), not re-run a full stabilization.
-	res, err := sim.RunToStable(nw, sim.Options{MaxRounds: 64})
+	res, err := sim.RunToStable(context.Background(), nw, sim.Options{MaxRounds: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestMessagesToDepartedPeersAreDropped(t *testing.T) {
 	if err := nw.Fail(victim); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+	if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := rechord.ComputeIdeal(nw.Peers()).Matches(nw); err != nil {
@@ -151,7 +152,7 @@ func TestReChordGraphProjectsOwners(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	ids := topogen.RandomIDs(12, rng)
 	nw := topogen.Random().Build(ids, rng, rechord.Config{})
-	if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+	if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	rg := nw.ReChordGraph()
@@ -181,7 +182,7 @@ func TestLeaveGracefulFasterThanFail(t *testing.T) {
 	build := func() *rechord.Network {
 		r := rand.New(rand.NewSource(10))
 		nw := topogen.PreStabilized().Build(ids, r, rechord.Config{})
-		if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+		if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 			t.Fatal(err)
 		}
 		return nw
@@ -192,7 +193,7 @@ func TestLeaveGracefulFasterThanFail(t *testing.T) {
 	if err := nwLeave.Leave(victim); err != nil {
 		t.Fatal(err)
 	}
-	resLeave, err := sim.RunToStable(nwLeave, sim.Options{})
+	resLeave, err := sim.RunToStable(context.Background(), nwLeave, sim.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestLeaveGracefulFasterThanFail(t *testing.T) {
 	if err := nwFail.Fail(victim); err != nil {
 		t.Fatal(err)
 	}
-	resFail, err := sim.RunToStable(nwFail, sim.Options{})
+	resFail, err := sim.RunToStable(context.Background(), nwFail, sim.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package rechord_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -24,7 +25,7 @@ func TestPropertyConvergesFromAnyConnectedState(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		ids := topogen.RandomIDs(n, rng)
 		nw := gen.Build(ids, rng, rechord.Config{Workers: 2})
-		if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+		if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 			t.Logf("seed=%d n=%d gen=%s: %v", seed, n, gen.Name, err)
 			return false
 		}
@@ -70,7 +71,7 @@ func TestPropertyChurnClosure(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		ids := topogen.RandomIDs(6+rng.Intn(6), rng)
 		nw := topogen.PreStabilized().Build(ids, rng, rechord.Config{Workers: 2})
-		if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+		if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 			return false
 		}
 		for i := 0; i < 4; i++ {
@@ -89,7 +90,7 @@ func TestPropertyChurnClosure(t *testing.T) {
 					return false
 				}
 			}
-			if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+			if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 				t.Logf("seed=%d step=%d: %v", seed, i, err)
 				return false
 			}
@@ -201,7 +202,7 @@ func TestGarbageWithAllEdgeKinds(t *testing.T) {
 	for i := 1; i < len(ids); i++ {
 		nw.SeedEdge(refAt(ids[i], rng.Intn(4)), refAt(ids[rng.Intn(i)], rng.Intn(4)), kinds[i%2])
 	}
-	if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+	if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := rechord.ComputeIdeal(ids).Matches(nw); err != nil {

@@ -1,6 +1,7 @@
 package rechord_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -17,7 +18,7 @@ func TestScale105(t *testing.T) {
 		nw := gen.Build(ids, rng, rechord.Config{})
 		idl := rechord.ComputeIdeal(ids)
 		start := time.Now()
-		res, err := sim.RunToStable(nw, sim.Options{Ideal: idl})
+		res, err := sim.RunToStable(context.Background(), nw, sim.Options{Ideal: idl})
 		if err != nil {
 			t.Fatalf("%s: %v", gen.Name, err)
 		}

@@ -32,11 +32,22 @@ func RouteTables(tables TableSource, numPeers int, from, key ident.ID) (owner id
 	// A lookup stranded in the top identifier segment — where rr, being
 	// linear, leaves the uppermost peer without a successor — switches
 	// to descent mode: hop along each table's MinKnown toward the
-	// global minimum node, whose owner's wrap rule names the owner of
-	// all wrap-segment keys. This mirrors Route's routeToGlobalMin on
+	// global minimum node. This mirrors Route's routeToGlobalMin on
 	// raw state; the floor enforces strict monotone progress so a
 	// mid-churn table cannot cycle the descent.
+	//
+	// Reaching the minimum node's owner does NOT yet decide the key: a
+	// lookup whose home lies clockwise past its key must cross the zero
+	// point, and it strands at the top exactly like a wrap-segment key
+	// does, because the top peer's fingers are too coarse to name the
+	// first peers after zero. So the first descent resumes greedy
+	// routing from the minimum's owner (ascending toward the key
+	// without wrapping again); only a lookup that strands a second time
+	// has no real peer between zero and its key and belongs to the wrap
+	// owner the descent recorded.
 	descending := false
+	wrapped := false       // a completed descent already crossed zero
+	var wrapOwner ident.ID // owner recorded at the min node's owner
 	floor := ^ident.ID(0)
 	for iter := 0; iter <= limit; iter++ {
 		if key == cur || numPeers == 1 {
@@ -78,11 +89,22 @@ func RouteTables(tables TableSource, numPeers int, from, key ident.ID) (owner id
 			}
 			descending = true
 		}
-		// A descent that reached the global minimum node's owner is
-		// done: the stranded key lies above every real peer, so it
-		// belongs to the minimum's closest right real.
 		if t.OwnsMinNode {
-			return t.MinNodeOwner, hops, nil
+			if wrapped {
+				return t.MinNodeOwner, hops, nil
+			}
+			// First arrival at the zero point: record the wrap owner and
+			// go back to greedy mode on this same peer's table.
+			wrapped = true
+			wrapOwner = t.MinNodeOwner
+			descending = false
+			continue
+		}
+		if wrapped {
+			// Stranded again after crossing zero: no real peer lies
+			// between zero and the key, so the key is in the wrap
+			// segment and belongs to the owner recorded there.
+			return wrapOwner, hops, nil
 		}
 		if t.MinKnownOwner != cur && t.MinKnownID < floor {
 			floor = t.MinKnownID

@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -25,7 +26,7 @@ func tablesEqual(a, b *Table) bool {
 
 func TestRouteTablesMatchesConsistentHashing(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	nw, ids, err := churn.StableNetwork(64, rng, rechord.Config{})
+	nw, ids, err := churn.StableNetwork(context.Background(), 64, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestRouteTablesMatchesConsistentHashing(t *testing.T) {
 // make the two agree at all times, including mid-stabilization.
 func TestCacheNeverStaleUnderChurn(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	nw, _, err := churn.StableNetwork(24, rng, rechord.Config{})
+	nw, _, err := churn.StableNetwork(context.Background(), 24, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestCacheNeverStaleUnderChurn(t *testing.T) {
 
 func TestCacheHitsWhenQuiescent(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	nw, ids, err := churn.StableNetwork(32, rng, rechord.Config{})
+	nw, ids, err := churn.StableNetwork(context.Background(), 32, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestCacheHitsWhenQuiescent(t *testing.T) {
 
 func TestCachePruneDropsDepartedAndStale(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	nw, ids, err := churn.StableNetwork(16, rng, rechord.Config{})
+	nw, ids, err := churn.StableNetwork(context.Background(), 16, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,5 +166,37 @@ func TestCachePruneDropsDepartedAndStale(t *testing.T) {
 	}
 	if cache.Len() >= len(ids) {
 		t.Fatalf("cache still holds %d tables after prune", cache.Len())
+	}
+}
+
+// TestRouteTablesExhaustiveAllHomes routes a dense key grid from EVERY
+// home peer and checks the table router against consistent hashing.
+// The exhaustive home sweep is the regression guard for the
+// wrap-crossing bug: a lookup whose home lies clockwise past its key
+// strands at the top peer (linear rr leaves it successorless and its
+// fingers are too coarse to name the first peers after zero) and used
+// to terminate the descent at the global minimum's owner as if the key
+// were a wrap-segment key, returning the wrong owner for keys that do
+// have real peers below them.
+func TestRouteTablesExhaustiveAllHomes(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	nw, ids, err := churn.StableNetwork(context.Background(), 24, rng, rechord.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(nw)
+	const grid = 256
+	for i := 0; i < grid; i++ {
+		key := ident.ID(uint64(i) << 56) // evenly spaced around the ring
+		want, _ := Owner(nw, key)
+		for _, from := range ids {
+			got, _, err := cache.Route(from, key)
+			if err != nil {
+				t.Fatalf("key %s from %s: %v", key, from, err)
+			}
+			if got != want {
+				t.Fatalf("key %s from %s: routed to %s, consistent hashing says %s", key, from, got, want)
+			}
+		}
 	}
 }

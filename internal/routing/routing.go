@@ -213,6 +213,12 @@ func Route(nw *rechord.Network, from ident.ID, key ident.ID) (owner ident.ID, pa
 
 	for iter := 0; iter <= limit; iter++ {
 		n := nw.Peer(peer)
+		if n == nil {
+			// A stale edge forwarded the walk to a departed peer: the
+			// state is mid-repair and this lookup cannot complete. An
+			// error (not a panic) lets callers retry or fall back.
+			return 0, path, fmt.Errorf("routing: walk reached departed peer %s", peer)
+		}
 		if own, ok := terminate(n); ok {
 			return own, path, nil
 		}
@@ -271,6 +277,9 @@ func Route(nw *rechord.Network, from ident.ID, key ident.ID) (owner ident.ID, pa
 func routeToGlobalMin(nw *rechord.Network, peer ident.ID, pos ident.ID, path []ident.ID, budget int) (ident.ID, []ident.ID, error) {
 	for iter := 0; iter <= budget+len(path)*2+8; iter++ {
 		n := nw.Peer(peer)
+		if n == nil {
+			return 0, path, fmt.Errorf("routing: descent reached departed peer %s", peer)
+		}
 		var best ref.Ref
 		bestOK := false
 		for _, lvl := range n.Levels() {

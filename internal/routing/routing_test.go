@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -8,12 +9,13 @@ import (
 	"repro/internal/churn"
 	"repro/internal/ident"
 	"repro/internal/rechord"
+	"repro/internal/sim"
 )
 
 func stable(t *testing.T, n int, seed int64) (*rechord.Network, []ident.ID) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	nw, ids, err := churn.StableNetwork(n, rng, rechord.Config{})
+	nw, ids, err := churn.StableNetwork(context.Background(), n, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,5 +138,45 @@ func TestOwnerEmptyNetwork(t *testing.T) {
 	nw := rechord.NewNetwork(rechord.Config{})
 	if _, err := Owner(nw, ident.ID(1)); err == nil {
 		t.Error("Owner on empty network must error")
+	}
+}
+
+// TestRouteSurvivesDanglingReferences: immediately after a crash
+// failure (before any repair round) other peers still hold edges to
+// the departed peer, and a walk can be forwarded into it. The walk
+// must surface a routing error, never dereference the missing peer.
+// After re-stabilization every lookup must succeed again.
+func TestRouteSurvivesDanglingReferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	nw, ids, err := churn.StableNetwork(context.Background(), 16, rng, rechord.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, victim := range []ident.ID{ids[3], ids[9], ids[14]} {
+		if err := nw.Fail(victim); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alive := nw.Peers()
+	for i := 0; i < 64; i++ {
+		key := ident.ID(rng.Uint64())
+		for _, from := range alive {
+			// Errors are legal mid-repair; panics are not.
+			_, _, _ = Route(nw, from, key)
+		}
+	}
+	if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		key := ident.ID(rng.Uint64())
+		want, _ := Owner(nw, key)
+		got, _, err := Route(nw, alive[i%len(alive)], key)
+		if err != nil {
+			t.Fatalf("route %s after repair: %v", key, err)
+		}
+		if got != want {
+			t.Fatalf("route %s after repair = %s, want %s", key, got, want)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -14,7 +15,7 @@ import (
 // ring-edge machinery regardless of the start peer.
 func TestWrapKeysOwnedBySmallestPeer(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
-	nw, ids, err := churn.StableNetwork(32, rng, rechord.Config{})
+	nw, ids, err := churn.StableNetwork(context.Background(), 32, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestWrapKeysOwnedBySmallestPeer(t *testing.T) {
 // consistent-hashing oracle.
 func TestExhaustiveOwnersSmallNetwork(t *testing.T) {
 	rng := rand.New(rand.NewSource(32))
-	nw, ids, err := churn.StableNetwork(9, rng, rechord.Config{})
+	nw, ids, err := churn.StableNetwork(context.Background(), 9, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestExhaustiveOwnersSmallNetwork(t *testing.T) {
 // network after joins and failures.
 func TestRouteAfterChurn(t *testing.T) {
 	rng := rand.New(rand.NewSource(33))
-	nw, ids, err := churn.StableNetwork(20, rng, rechord.Config{})
+	nw, ids, err := churn.StableNetwork(context.Background(), 20, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestRouteAfterChurn(t *testing.T) {
 		{Kind: "fail", ID: ids[5]},
 		{Kind: "leave", ID: ids[11]},
 	}
-	if _, err := churn.RunSequence(nw, events, 0); err != nil {
+	if _, err := churn.RunSequence(context.Background(), nw, events, 0); err != nil {
 		t.Fatal(err)
 	}
 	peers := nw.Peers()

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -48,6 +49,9 @@ type Result struct {
 	// Stable reports whether a global fixed point was reached within
 	// MaxRounds.
 	Stable bool
+	// Canceled reports that the run stopped early because the context
+	// was done; Stable is false in that case.
+	Canceled bool
 	// Rounds is the number of rounds until the fixed point (the round
 	// after which the state stopped changing), or MaxRounds if not
 	// stable.
@@ -90,8 +94,11 @@ func Measure(nw *rechord.Network) RoundMetrics {
 	}
 }
 
-// Run executes rounds until the global state reaches a fixed point or
-// the round bound is hit.
+// Run executes rounds until the global state reaches a fixed point,
+// the round bound is hit, or the context is done. Cancellation is
+// observed between rounds: the network is always left at a round
+// barrier, consistent and steppable, so a canceled run can be resumed
+// by calling Run again.
 //
 // Under the incremental engine (the default), the fixed point is
 // detected by quiescence: an empty frontier means no peer's inputs
@@ -99,7 +106,10 @@ func Measure(nw *rechord.Network) RoundMetrics {
 // global stability — an O(1) check. Under rechord.Config.FullSweep the
 // engine has no frontier, so Run falls back to the classic deep-copy
 // snapshot comparison.
-func Run(nw *rechord.Network, opt Options) Result {
+func Run(ctx context.Context, nw *rechord.Network, opt Options) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	maxRounds := opt.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxRounds(nw.NumPeers())
@@ -111,6 +121,12 @@ func Run(nw *rechord.Network, opt Options) Result {
 		prev = nw.TakeSnapshot()
 	}
 	for r := 0; r < maxRounds; r++ {
+		if ctx.Err() != nil {
+			res.Canceled = true
+			res.Rounds = nw.Round() - start
+			res.Final = Measure(nw)
+			return res
+		}
 		if opt.TrackSeries {
 			m := Measure(nw)
 			res.Series = append(res.Series, m)
@@ -154,9 +170,13 @@ func Run(nw *rechord.Network, opt Options) Result {
 }
 
 // RunToStable is Run with a hard failure when the network does not
-// stabilize, for tests and experiments that require convergence.
-func RunToStable(nw *rechord.Network, opt Options) (Result, error) {
-	res := Run(nw, opt)
+// stabilize, for tests and experiments that require convergence. A
+// canceled run returns the context's error.
+func RunToStable(ctx context.Context, nw *rechord.Network, opt Options) (Result, error) {
+	res := Run(ctx, nw, opt)
+	if res.Canceled {
+		return res, ctx.Err()
+	}
 	if !res.Stable {
 		return res, fmt.Errorf("sim: network of %d peers did not stabilize within %d rounds",
 			nw.NumPeers(), nw.Round())

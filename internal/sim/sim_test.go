@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -35,7 +36,7 @@ func lineNetwork(n int, seed int64) (*rechord.Network, []ident.ID) {
 func TestRunReachesFixedPoint(t *testing.T) {
 	nw, ids := lineNetwork(12, 1)
 	idl := rechord.ComputeIdeal(ids)
-	res := Run(nw, Options{Ideal: idl, TrackSeries: true})
+	res := Run(context.Background(), nw, Options{Ideal: idl, TrackSeries: true})
 	if !res.Stable {
 		t.Fatal("network did not stabilize")
 	}
@@ -58,7 +59,7 @@ func TestRunReachesFixedPoint(t *testing.T) {
 
 func TestRunMaxRoundsBound(t *testing.T) {
 	nw, _ := lineNetwork(30, 2)
-	res := Run(nw, Options{MaxRounds: 2})
+	res := Run(context.Background(), nw, Options{MaxRounds: 2})
 	if res.Stable {
 		t.Error("2 rounds cannot stabilize 30 peers from a line")
 	}
@@ -69,14 +70,14 @@ func TestRunMaxRoundsBound(t *testing.T) {
 
 func TestRunToStableError(t *testing.T) {
 	nw, _ := lineNetwork(30, 3)
-	if _, err := RunToStable(nw, Options{MaxRounds: 2}); err == nil {
+	if _, err := RunToStable(context.Background(), nw, Options{MaxRounds: 2}); err == nil {
 		t.Error("RunToStable must report non-convergence")
 	}
 }
 
 func TestMeasureCountsKinds(t *testing.T) {
 	nw, _ := lineNetwork(8, 4)
-	Run(nw, Options{})
+	Run(context.Background(), nw, Options{})
 	m := Measure(nw)
 	if m.RealNodes != 8 {
 		t.Errorf("RealNodes = %d, want 8", m.RealNodes)
@@ -116,7 +117,7 @@ func TestDefaultMaxRounds(t *testing.T) {
 
 func TestSeriesMessagesRecorded(t *testing.T) {
 	nw, _ := lineNetwork(6, 5)
-	res := Run(nw, Options{TrackSeries: true})
+	res := Run(context.Background(), nw, Options{TrackSeries: true})
 	total := 0
 	for _, m := range res.Series {
 		total += m.Messages

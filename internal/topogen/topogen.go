@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/chord"
 	"repro/internal/graph"
 	"repro/internal/ident"
 	"repro/internal/rechord"
@@ -220,6 +221,33 @@ func PreStabilized() Generator {
 			mn, mx := nodes[0], nodes[len(nodes)-1]
 			nw.SeedEdge(mx, mn, graph.Ring)
 			nw.SeedEdge(mn, mx, graph.Ring)
+		}
+		return nw
+	}}
+}
+
+// Loopy seeds the state that defeats classic Chord's maintenance
+// (Section 1's motivation): every peer's successor pointer is the peer
+// stride positions clockwise, with the stride chosen coprime to n so
+// the pointers form a single cycle winding stride times around the
+// identifier circle. Classic Chord can never untangle it; Re-Chord
+// recovers the correct topology from it like from any other weakly
+// connected state.
+func Loopy() Generator {
+	return Generator{Name: "loopy", Build: func(ids []ident.ID, rng *rand.Rand, cfg rechord.Config) *rechord.Network {
+		nw := rechord.NewNetwork(cfg)
+		sorted := append([]ident.ID(nil), ids...)
+		ident.Sort(sorted)
+		for _, id := range sorted {
+			nw.AddPeer(id)
+		}
+		n := len(sorted)
+		if n < 2 {
+			return nw
+		}
+		stride := chord.LoopyStride(n)
+		for i, id := range sorted {
+			nw.SeedEdge(ref.Real(id), ref.Real(sorted[(i+stride)%n]), graph.Unmarked)
 		}
 		return nw
 	}}

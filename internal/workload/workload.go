@@ -24,6 +24,7 @@
 package workload
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -41,6 +42,11 @@ import (
 	"repro/internal/stats"
 )
 
+// ErrConfig reports an invalid Config, distinguishable with errors.Is
+// from runtime failures (routing errors, empty network) so callers can
+// keep configuration mistakes and serving faults in separate buckets.
+var ErrConfig = errors.New("workload: invalid configuration")
+
 // ChurnConfig interleaves membership events with the traffic.
 type ChurnConfig struct {
 	// Events is the number of membership events (random mix of join,
@@ -54,6 +60,14 @@ type ChurnConfig struct {
 	// chunks give lookups more interleavings with mid-repair state
 	// (default 4).
 	StepChunk int
+	// OnApply, when non-nil, is called after each membership event is
+	// successfully applied (from the churn-driver goroutine, no locks
+	// held). The cluster facade uses it to publish lifecycle events.
+	OnApply func(ev churn.Event)
+	// OnSettle, when non-nil, is called after the network re-stabilizes
+	// following an applied event, with the number of protocol rounds
+	// the repair took (from the churn-driver goroutine, no locks held).
+	OnSettle func(rounds int)
 }
 
 // Config parameterizes one workload run.
@@ -108,28 +122,28 @@ func (cfg Config) withDefaults() (Config, error) {
 		cfg.Keyspace = 4096
 	}
 	if cfg.Keyspace < cfg.Workers {
-		return cfg, fmt.Errorf("workload: keyspace %d smaller than %d workers", cfg.Keyspace, cfg.Workers)
+		return cfg, fmt.Errorf("%w: keyspace %d smaller than %d workers", ErrConfig, cfg.Keyspace, cfg.Workers)
 	}
 	if cfg.Ops <= 0 && cfg.Duration <= 0 {
-		return cfg, fmt.Errorf("workload: need Ops or Duration")
+		return cfg, fmt.Errorf("%w: need Ops or Duration", ErrConfig)
 	}
 	if cfg.GetFrac == 0 && cfg.PutFrac == 0 && cfg.DeleteFrac == 0 {
 		cfg.GetFrac, cfg.PutFrac, cfg.DeleteFrac = 0.80, 0.15, 0.05
 	}
 	sum := cfg.GetFrac + cfg.PutFrac + cfg.DeleteFrac
 	if sum < 0.999 || sum > 1.001 {
-		return cfg, fmt.Errorf("workload: op mix %.3f+%.3f+%.3f does not sum to 1",
-			cfg.GetFrac, cfg.PutFrac, cfg.DeleteFrac)
+		return cfg, fmt.Errorf("%w: op mix %.3f+%.3f+%.3f does not sum to 1",
+			ErrConfig, cfg.GetFrac, cfg.PutFrac, cfg.DeleteFrac)
 	}
 	if _, err := newKeyGen(cfg, rand.New(rand.NewSource(0))); err != nil {
-		return cfg, err
+		return cfg, fmt.Errorf("%w: %v", ErrConfig, err)
 	}
 	if cfg.Churn.Events > 0 {
 		if cfg.Churn.EveryOps <= 0 {
 			if cfg.Ops <= 0 {
 				// Duration mode has no op total to spread events over;
 				// a derived default would fire them all at the start.
-				return cfg, fmt.Errorf("workload: Duration mode with churn requires Churn.EveryOps")
+				return cfg, fmt.Errorf("%w: Duration mode with churn requires Churn.EveryOps", ErrConfig)
 			}
 			every := cfg.Ops / (cfg.Churn.Events + 1)
 			if every < 1 {
@@ -249,9 +263,22 @@ type engine struct {
 // telemetry. The network must currently be stable; it is returned
 // re-stabilized (the churn driver runs every event to quiescence
 // before the run ends).
-func Run(nw *rechord.Network, cfg Config) (*Result, error) {
+//
+// Cancellation is honored end to end: workers stop before their next
+// operation, and the churn driver stops both its event waiting and its
+// re-stabilization stepping. A canceled Run returns the telemetry
+// gathered so far together with ctx.Err(); the network is left at a
+// round barrier, consistent and steppable (possibly mid-repair — run
+// sim.Run to finish the re-stabilization).
+func Run(ctx context.Context, nw *rechord.Network, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg, err := cfg.withDefaults()
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	e := &engine{nw: nw, cfg: cfg}
@@ -295,7 +322,7 @@ func Run(nw *rechord.Network, cfg Config) (*Result, error) {
 	workersDone := make(chan struct{})
 	churnDone := make(chan int, 1)
 	go func() {
-		churnDone <- e.churnDriver(events, workersDone)
+		churnDone <- e.churnDriver(ctx, events, workersDone)
 	}()
 
 	var wg sync.WaitGroup
@@ -303,7 +330,7 @@ func Run(nw *rechord.Network, cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			e.worker(w, homes, start, &results[w])
+			e.worker(ctx, w, homes, start, &results[w])
 		}(w)
 	}
 	wg.Wait()
@@ -345,12 +372,13 @@ func Run(nw *rechord.Network, cfg Config) (*Result, error) {
 	}
 	res.StoreFingerprint = e.store.Fingerprint()
 	res.StoreLen = e.store.Len()
-	return res, nil
+	return res, ctx.Err()
 }
 
 // worker runs one client: a deterministic op stream (seeded RNG per
-// worker) executed against the store under the network read lock.
-func (e *engine) worker(w int, homes []ident.ID, start time.Time, out *workerResult) {
+// worker) executed against the store under the network read lock. It
+// returns early when the context is done.
+func (e *engine) worker(ctx context.Context, w int, homes []ident.ID, start time.Time, out *workerResult) {
 	cfg := e.cfg
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(w+1)*int64(0x9E3779B97F4A7C15>>1)))
 	// The distribution was validated by withDefaults, so this cannot
@@ -362,14 +390,21 @@ func (e *engine) worker(w int, homes []ident.ID, start time.Time, out *workerRes
 		interval = time.Duration(float64(cfg.Workers) / cfg.Rate * float64(time.Second))
 	}
 	for i := 0; cfg.Duration > 0 || i < n; i++ {
+		if ctx.Err() != nil {
+			return
+		}
 		if cfg.Duration > 0 && time.Now().After(e.deadline) {
 			return
 		}
 		if interval > 0 {
 			// Open loop: release op i at its scheduled time, measuring
 			// the latency the op would impose on an arrival process
-			// rather than the worker's own completion pace.
-			time.Sleep(time.Until(start.Add(time.Duration(i) * interval)))
+			// rather than the worker's own completion pace. The pacing
+			// sleep stays interruptible so cancellation is not delayed
+			// by a slow target rate.
+			if !sleepCtx(ctx, time.Until(start.Add(time.Duration(i)*interval))) {
+				return
+			}
 		}
 		kind := pickOp(rng, cfg)
 		idx := gen.next(i)
@@ -434,17 +469,27 @@ func (e *engine) aliveHome(homes []ident.ID, hi int) ident.ID {
 // client lookups interleave with mid-repair state. After each event it
 // rebalances the store onto the new membership and prunes dead cache
 // entries. Returns how many events were applied.
-func (e *engine) churnDriver(events []churn.Event, done <-chan struct{}) int {
+//
+// Cancellation stops the driver at every stage: while waiting for the
+// next event's op target, between re-stabilization chunks, and before
+// the post-event rebalance — no churn step runs after the context is
+// done and the current chunk finishes.
+func (e *engine) churnDriver(ctx context.Context, events []churn.Event, done <-chan struct{}) int {
 	applied := 0
 	for i, ev := range events {
 		target := int64(i+1) * int64(e.cfg.Churn.EveryOps)
 		for e.opsDone.Load() < target {
 			select {
+			case <-ctx.Done():
+				return applied
 			case <-done:
 				return applied
 			default:
 				time.Sleep(100 * time.Microsecond)
 			}
+		}
+		if ctx.Err() != nil {
+			return applied
 		}
 		e.netMu.Lock()
 		var err error
@@ -463,9 +508,13 @@ func (e *engine) churnDriver(events []churn.Event, done <-chan struct{}) int {
 			continue
 		}
 		applied++
+		if e.cfg.Churn.OnApply != nil {
+			e.cfg.Churn.OnApply(ev)
+		}
 
 		maxRounds := sim.DefaultMaxRounds(e.nw.NumPeers())
 		stepped := 0
+		canceled := false
 		for {
 			e.netMu.Lock()
 			quiescent := e.nw.Quiescent()
@@ -478,7 +527,19 @@ func (e *engine) churnDriver(events []churn.Event, done <-chan struct{}) int {
 			if quiescent || stepped > maxRounds {
 				break
 			}
+			if ctx.Err() != nil {
+				// Leave the network mid-repair but at a round barrier;
+				// the caller resumes or finishes the stabilization.
+				canceled = true
+				break
+			}
 			runtime.Gosched()
+		}
+		if canceled {
+			return applied
+		}
+		if e.cfg.Churn.OnSettle != nil {
+			e.cfg.Churn.OnSettle(stepped)
 		}
 
 		// Hand the stored pairs to their new owners and drop cache
@@ -556,3 +617,19 @@ func mix64(x uint64) uint64 {
 // errorsIsNotFound reports whether the op failed only because the key
 // was absent at its owner.
 func errorsIsNotFound(err error) bool { return errors.Is(err, dht.ErrNotFound) }
+
+// sleepCtx sleeps for d or until the context is done, reporting true
+// when the full sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

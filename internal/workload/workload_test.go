@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -17,7 +18,7 @@ import (
 func stableNet(t testing.TB, n int, seed int64) (*rechord.Network, []ident.ID) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	nw, ids, err := churn.StableNetwork(n, rng, rechord.Config{})
+	nw, ids, err := churn.StableNetwork(context.Background(), n, rng, rechord.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func stableNet(t testing.TB, n int, seed int64) (*rechord.Network, []ident.ID) {
 
 func TestRunSmoke(t *testing.T) {
 	nw, _ := stableNet(t, 24, 1)
-	res, err := Run(nw, Config{Workers: 4, Ops: 800, Keyspace: 256, Preload: 128, Seed: 42})
+	res, err := Run(context.Background(), nw, Config{Workers: 4, Ops: 800, Keyspace: 256, Preload: 128, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,12 +67,12 @@ func TestRunReproducible(t *testing.T) {
 			Distribution: dist, Seed: 7,
 		}
 		nw1, _ := stableNet(t, 20, 3)
-		r1, err := Run(nw1, cfg)
+		r1, err := Run(context.Background(), nw1, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", dist, err)
 		}
 		nw2, _ := stableNet(t, 20, 3)
-		r2, err := Run(nw2, cfg)
+		r2, err := Run(context.Background(), nw2, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", dist, err)
 		}
@@ -85,7 +86,7 @@ func TestRunReproducible(t *testing.T) {
 		// A different seed must actually change the stream.
 		cfg.Seed = 8
 		nw3, _ := stableNet(t, 20, 3)
-		r3, err := Run(nw3, cfg)
+		r3, err := Run(context.Background(), nw3, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", dist, err)
 		}
@@ -101,7 +102,7 @@ func TestRunReproducible(t *testing.T) {
 // under them. Run with -race (the CI race job does).
 func TestRaceWorkersAgainstChurn(t *testing.T) {
 	nw, _ := stableNet(t, 48, 5)
-	res, err := Run(nw, Config{
+	res, err := Run(context.Background(), nw, Config{
 		Workers: 8, Ops: 2400, Keyspace: 512, Preload: 256, Seed: 11,
 		Distribution: DistZipf,
 		Churn:        ChurnConfig{Events: 4, EveryOps: 400, StepChunk: 2},
@@ -127,6 +128,61 @@ func TestRaceWorkersAgainstChurn(t *testing.T) {
 		t.Errorf("network left the legal state: %v", err)
 	}
 	t.Log(res.Summary())
+}
+
+// TestCancelMidRunLeavesNetworkSteppable is the context-shutdown
+// regression test: canceling a run with active churn must stop the
+// workers AND the churn driver (no orphaned churn steps), return the
+// partial telemetry with ctx.Err(), and leave the network at a round
+// barrier from which stabilization can be finished normally.
+func TestCancelMidRunLeavesNetworkSteppable(t *testing.T) {
+	nw, _ := stableNet(t, 32, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		// Effectively unbounded ops with churn spaced tightly, so the
+		// run is mid-traffic and mid-churn whenever the cancel lands.
+		res, err := Run(ctx, nw, Config{
+			Workers: 4, Ops: 50_000_000, Keyspace: 512, Preload: 128, Seed: 7,
+			Churn: ChurnConfig{Events: 1000, EveryOps: 200, StepChunk: 1},
+		})
+		done <- outcome{res, err}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	roundAtCancel := -1
+	var out outcome
+	select {
+	case out = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return within 10s of cancellation")
+	}
+	if !errors.Is(out.err, context.Canceled) {
+		t.Fatalf("Run returned err = %v, want context.Canceled", out.err)
+	}
+	if out.res == nil || out.res.Ops == 0 {
+		t.Fatal("canceled Run returned no partial telemetry")
+	}
+	// No goroutine of the run may keep stepping the network: the round
+	// counter must be frozen once Run has returned.
+	roundAtCancel = nw.Round()
+	time.Sleep(50 * time.Millisecond)
+	if r := nw.Round(); r != roundAtCancel {
+		t.Fatalf("network stepped from round %d to %d after Run returned: orphaned churn driver", roundAtCancel, r)
+	}
+	// The network must be left steppable: finish the interrupted
+	// re-stabilization and verify the legal state is reached.
+	nw.Step()
+	if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
+		t.Fatalf("network not steppable to the fixed point after cancellation: %v", err)
+	}
+	if err := churn.VerifyStable(nw); err != nil {
+		t.Fatalf("network cannot reach the legal state after cancellation: %v", err)
+	}
 }
 
 // TestKeysSurviveChurnBurst is the routing-under-churn property: every
@@ -159,7 +215,7 @@ func TestKeysSurviveChurnBurst(t *testing.T) {
 	if err := nw.Fail(ids[25]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sim.RunToStable(nw, sim.Options{}); err != nil {
+	if _, err := sim.RunToStable(context.Background(), nw, sim.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if !nw.Quiescent() {
@@ -192,7 +248,7 @@ func TestOpenLoopPacing(t *testing.T) {
 		t.Skip("paced run sleeps on the wall clock")
 	}
 	nw, _ := stableNet(t, 16, 13)
-	res, err := Run(nw, Config{Workers: 2, Ops: 200, Keyspace: 64, Seed: 1, Rate: 2000})
+	res, err := Run(context.Background(), nw, Config{Workers: 2, Ops: 200, Keyspace: 64, Seed: 1, Rate: 2000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,22 +264,22 @@ func TestOpenLoopPacing(t *testing.T) {
 
 func TestConfigValidation(t *testing.T) {
 	nw, _ := stableNet(t, 8, 17)
-	if _, err := Run(nw, Config{Workers: 4, Ops: 10, Keyspace: 2}); err == nil {
+	if _, err := Run(context.Background(), nw, Config{Workers: 4, Ops: 10, Keyspace: 2}); err == nil {
 		t.Error("keyspace < workers must error")
 	}
-	if _, err := Run(nw, Config{Workers: 2}); err == nil {
+	if _, err := Run(context.Background(), nw, Config{Workers: 2}); err == nil {
 		t.Error("no Ops and no Duration must error")
 	}
-	if _, err := Run(nw, Config{Ops: 10, GetFrac: 0.5, PutFrac: 0.1, DeleteFrac: 0.1}); err == nil {
+	if _, err := Run(context.Background(), nw, Config{Ops: 10, GetFrac: 0.5, PutFrac: 0.1, DeleteFrac: 0.1}); err == nil {
 		t.Error("op mix not summing to 1 must error")
 	}
-	if _, err := Run(nw, Config{Ops: 10, Distribution: "pareto"}); err == nil {
+	if _, err := Run(context.Background(), nw, Config{Ops: 10, Distribution: "pareto"}); err == nil {
 		t.Error("unknown distribution must error")
 	}
-	if _, err := Run(nw, Config{Duration: time.Second, Churn: ChurnConfig{Events: 3}}); err == nil {
+	if _, err := Run(context.Background(), nw, Config{Duration: time.Second, Churn: ChurnConfig{Events: 3}}); err == nil {
 		t.Error("duration mode with churn but no EveryOps must error")
 	}
-	if _, err := Run(rechord.NewNetwork(rechord.Config{}), Config{Ops: 10}); err == nil {
+	if _, err := Run(context.Background(), rechord.NewNetwork(rechord.Config{}), Config{Ops: 10}); err == nil {
 		t.Error("empty network must error")
 	}
 }
@@ -279,7 +335,7 @@ func TestNotFoundNotCountedAsError(t *testing.T) {
 		t.Fatalf("Get(absent) = %v, want ErrNotFound", err)
 	}
 	// A pure-Get run over an empty store: all misses, zero errors.
-	res, err := Run(nw, Config{Workers: 2, Ops: 100, Keyspace: 50, Seed: 3, GetFrac: 1, PutFrac: 0, DeleteFrac: 0})
+	res, err := Run(context.Background(), nw, Config{Workers: 2, Ops: 100, Keyspace: 50, Seed: 3, GetFrac: 1, PutFrac: 0, DeleteFrac: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
