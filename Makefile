@@ -14,7 +14,7 @@ ROUND_BENCH := BenchmarkStepSteadyState|BenchmarkRound$$|BenchmarkSnapshot|Bench
 # uncached table routing and the end-to-end workload engine.
 LOOKUP_BENCH := BenchmarkTableLookup|BenchmarkWorkload
 
-.PHONY: all test test-short lint vet fmt bench bench-json bench-lookups cover examples clean
+.PHONY: all test test-short lint vet fmt bench bench-json bench-lookups bench-async cover examples clean
 
 all: lint test
 
@@ -42,12 +42,15 @@ cover:
 	$(GO) tool cover -func=coverage.out | tail -1
 
 # examples builds and runs every examples/ program — the CI smoke gate
-# proving the public facade drives each end to end.
+# proving the public facade drives each end to end — plus the async
+# convergence figure in its quick sweep.
 examples:
 	$(GO) build ./examples/...
 	@for d in examples/*/; do \
 		echo "== $$d"; $(GO) run ./$$d || exit 1; \
 	done
+	@echo "== async figure (quick)"
+	$(GO) run ./cmd/rechord-figures -exp async -quick -reps 1 -plot=false
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -63,6 +66,18 @@ bench-json:
 bench-lookups:
 	$(GO) test -run '^$$' -bench '$(LOOKUP_BENCH)' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_lookups.json
 	@echo wrote BENCH_lookups.json
+
+# bench-async records the asynchronous scheduler benchmarks in
+# BENCH_async.json: the steady-state step (must stay flat in n — the
+# frontier-proportional claim), churn recovery, and convergence-time
+# sweeps. The step benchmark needs iterations for a stable ns/op; the
+# convergence ones carry their cost in setup, so they run a fixed
+# small count.
+bench-async:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkAsyncStep' -benchmem -benchtime=100000x . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkAsyncConvergence|BenchmarkAsyncChurnRecovery' -benchmem -benchtime=3x . ; } \
+	  | $(GO) run ./cmd/benchjson > BENCH_async.json
+	@echo wrote BENCH_async.json
 
 clean:
 	$(GO) clean -testcache

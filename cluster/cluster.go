@@ -45,6 +45,7 @@ type Cluster struct {
 	// side) against routing reads (KV operations, read side).
 	mu    sync.RWMutex
 	nw    *rechord.Network
+	sched rechord.Scheduler // the execution model: nw itself, or an async runner
 	store *dht.Store
 	cache *routing.Cache // nil when the router cache is disabled
 	rng   *rand.Rand     // guarded by mu (write side)
@@ -107,6 +108,16 @@ func New(opts ...Option) (*Cluster, error) {
 	}
 
 	c := &Cluster{cfg: cfg, nw: nw, rng: rng, homes: nw.Peers()}
+	c.sched = nw
+	if cfg.async {
+		// The asynchronous scheduler draws from its own seed-derived
+		// stream, so sync and async clusters built from the same seed
+		// share identifiers and topology.
+		c.sched = rechord.NewAsyncRunner(nw, rechord.AsyncConfig{
+			ActivationProb: cfg.asyncProb,
+			Delay:          cfg.asyncDelay,
+		}, rand.New(rand.NewSource(cfg.seed^0x55AA55AA)))
+	}
 	var resolver dht.Resolver
 	if cfg.routerCache {
 		c.cache = routing.NewCache(nw)
@@ -140,6 +151,11 @@ func (c *Cluster) home() ident.ID {
 
 // refreshHomes re-reads the membership. Callers hold the write lock.
 func (c *Cluster) refreshHomes() { c.homes = c.nw.Peers() }
+
+// clock returns the scheduler's unit-agnostic time — rounds under the
+// synchronous model, steps under the asynchronous one — for event
+// stamps. Callers hold mu (either side).
+func (c *Cluster) clock() int { return c.sched.Time() }
 
 // Close shuts the cluster down: every subscriber channel is closed and
 // every subsequent operation returns ErrClosed. Close is idempotent.
@@ -186,7 +202,7 @@ func (c *Cluster) Join(ctx context.Context) (PeerID, error) {
 		return 0, fmt.Errorf("%w: join: %v", ErrUnknownPeer, err)
 	}
 	c.refreshHomes()
-	c.bus.publish(Event{Kind: EventPeerJoined, Peer: PeerID(id), Round: c.nw.Round()})
+	c.bus.publish(Event{Kind: EventPeerJoined, Peer: PeerID(id), Round: c.clock()})
 	return PeerID(id), nil
 }
 
@@ -225,7 +241,7 @@ func (c *Cluster) depart(ctx context.Context, p PeerID, kind string) error {
 		return fmt.Errorf("%w: %s: %v", ErrUnknownPeer, kind, err)
 	}
 	c.refreshHomes()
-	ev.Round = c.nw.Round()
+	ev.Round = c.clock()
 	c.bus.publish(ev)
 	return nil
 }
@@ -298,7 +314,7 @@ func (c *Cluster) Stabilize(ctx context.Context, opts ...StabilizeOption) (Stabi
 	if o.almostStable {
 		simOpt.Ideal = rechord.ComputeIdeal(c.nw.Peers())
 	}
-	res := sim.Run(ctx, c.nw, simOpt)
+	res := sim.Run(ctx, c.sched, simOpt)
 	rep := StabilizeReport{
 		Stable:            res.Stable,
 		Rounds:            res.Rounds,
@@ -308,13 +324,13 @@ func (c *Cluster) Stabilize(ctx context.Context, opts ...StabilizeOption) (Stabi
 		Series:            res.Series,
 	}
 	if epoch := c.nw.EpochClock(); epoch != epoch0 {
-		c.bus.publish(Event{Kind: EventEpochBumped, Epoch: epoch, Round: c.nw.Round()})
+		c.bus.publish(Event{Kind: EventEpochBumped, Epoch: epoch, Round: c.clock()})
 	}
 	if res.Canceled {
 		return rep, ctx.Err()
 	}
 	if !res.Stable {
-		return rep, fmt.Errorf("%w: %d peers still repairing after %d rounds", ErrUnstable, c.nw.NumPeers(), res.Rounds)
+		return rep, fmt.Errorf("%w: %d peers still repairing after %d steps", ErrUnstable, c.nw.NumPeers(), res.Rounds)
 	}
 	if _, err := c.store.Rebalance(); err != nil {
 		return rep, fmt.Errorf("%w: rebalance: %v", ErrUnknownPeer, err)
@@ -322,17 +338,18 @@ func (c *Cluster) Stabilize(ctx context.Context, opts ...StabilizeOption) (Stabi
 	if c.cache != nil {
 		c.cache.Prune()
 	}
-	c.bus.publish(Event{Kind: EventRegionSettled, Rounds: rep.Rounds, Peers: c.nw.NumPeers(), Round: c.nw.Round()})
+	c.bus.publish(Event{Kind: EventRegionSettled, Rounds: rep.Rounds, Peers: c.nw.NumPeers(), Round: c.clock()})
 	return rep, nil
 }
 
-// Quiescent reports whether the network is at its global fixed point:
-// no peer's inputs changed since it last reached a local fixed point
-// (an O(1) check on the incremental engine).
+// Quiescent reports whether the execution is at its global fixed
+// point: no peer's inputs changed since it last reached a local fixed
+// point, and (under the asynchronous model) no delivery still in
+// flight — an O(1) check on the incremental engine.
 func (c *Cluster) Quiescent() bool {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.nw.Quiescent()
+	return c.sched.Quiescent()
 }
 
 // ---- KV -----------------------------------------------------------
@@ -424,11 +441,40 @@ func (c *Cluster) Size() int {
 	return c.nw.NumPeers()
 }
 
-// Round returns the number of protocol rounds executed so far.
+// Round returns the number of synchronous protocol rounds executed so
+// far. Under WithAsync this counter does not advance; see Steps.
 func (c *Cluster) Round() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.nw.Round()
+}
+
+// Steps returns the scheduler's clock: rounds under the synchronous
+// model, asynchronous steps under WithAsync. Event stream timestamps
+// (Event.Round) use this clock.
+func (c *Cluster) Steps() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sched.Time()
+}
+
+// ExecutionModel reports which execution model the cluster runs:
+// "sync" (the paper's synchronous rounds) or "async" (the event-driven
+// asynchronous scheduler configured by WithAsync).
+func (c *Cluster) ExecutionModel() string {
+	if c.cfg.async {
+		return "async"
+	}
+	return "sync"
+}
+
+// InFlight returns the number of protocol messages currently in
+// flight: standing repeating flows, one-shot deliveries, and (under
+// WithAsync) messages inside pending delayed deliveries.
+func (c *Cluster) InFlight() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sched.InFlight()
 }
 
 // Metrics returns the current topology snapshot: real and virtual node

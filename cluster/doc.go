@@ -23,6 +23,18 @@
 //     joined/left/failed, region settled, epoch bumped), replacing
 //     ad-hoc polling of frontier sizes and quiescence flags.
 //
+// # Execution models
+//
+// WithAsync(p, delay) switches the cluster from the paper's
+// synchronous round model to the event-driven asynchronous scheduler:
+// each frontier peer activates with probability p per step and
+// messages arrive after a delay drawn from the model (DelayUniform,
+// DelayGeometric, DelayPareto, DelayPerLink, or ParseDelayModel for
+// flag strings). Every facade method works unchanged; reports and
+// event timestamps that count "rounds" count asynchronous steps
+// instead (Steps returns that clock, Round stays the synchronous round
+// counter).
+//
 // # Concurrency model
 //
 // The facade serializes network mutation against routing reads with

@@ -2,7 +2,11 @@ package cluster
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
+	"repro/internal/ident"
+	"repro/internal/rechord"
 	"repro/internal/topogen"
 	"repro/internal/workload"
 )
@@ -49,6 +53,9 @@ type config struct {
 	fullSweep         bool
 	disableRing       bool
 	disableConnection bool
+	async             bool
+	asyncProb         float64
+	asyncDelay        DelayModel
 }
 
 func defaultConfig() config {
@@ -99,6 +106,120 @@ func WithAblation(disableRing, disableConnection bool) Option {
 	}
 }
 
+// DelayModel draws per-message delivery delays for the asynchronous
+// execution model (re-exported from the scheduler layer). Build one
+// with DelayUniform, DelayGeometric, DelayPareto or DelayPerLink, or
+// parse a textual spec with ParseDelayModel.
+type DelayModel = rechord.DelayModel
+
+// DelayUniform delays every message uniformly in 1..max steps — the
+// classic bounded-delay adversary. max < 2 means synchronous timing
+// (every delay exactly 1).
+func DelayUniform(max int) DelayModel { return rechord.UniformDelay{Max: max} }
+
+// DelayGeometric delays each message 1+Geometric(p) steps (mean 1/p),
+// capped at max when positive.
+func DelayGeometric(p float64, max int) DelayModel {
+	return rechord.GeometricDelay{P: p, Max: max}
+}
+
+// DelayPareto delays messages by a heavy-tailed Pareto(alpha) draw
+// (smaller alpha = heavier tail), capped at max when positive.
+func DelayPareto(alpha float64, max int) DelayModel {
+	return rechord.ParetoDelay{Alpha: alpha, Max: max}
+}
+
+// DelayPerLink derives each message's delay from the (from, to) peer
+// pair — a deterministic per-link latency map. The optional maxHint is
+// the map's largest latency: it caps the values and lets default
+// stabilization budgets scale with the latency instead of assuming
+// delay 1 (pass it whenever latencies exceed a few steps).
+func DelayPerLink(fn func(from, to PeerID) int, maxHint ...int) DelayModel {
+	max := 0
+	if len(maxHint) > 0 {
+		max = maxHint[0]
+	}
+	return rechord.LinkDelay{Fn: func(f, t ident.ID) int { return fn(PeerID(f), PeerID(t)) }, Max: max}
+}
+
+// ParseDelayModel parses a textual delay-model spec, for command-line
+// flags: "uniform:MAX", "geometric:P[:MAX]", "pareto:ALPHA[:MAX]", or
+// "" for the synchronous delay of 1. Errors match ErrConfig.
+func ParseDelayModel(spec string) (DelayModel, error) {
+	if spec == "" {
+		return DelayUniform(1), nil
+	}
+	parts := strings.Split(spec, ":")
+	bad := func() error {
+		return fmt.Errorf("%w: delay spec %q (want uniform:MAX, geometric:P[:MAX] or pareto:ALPHA[:MAX])", ErrConfig, spec)
+	}
+	num := func(i int) (float64, error) {
+		v, err := strconv.ParseFloat(parts[i], 64)
+		if err != nil {
+			return 0, bad()
+		}
+		return v, nil
+	}
+	switch parts[0] {
+	case "uniform":
+		if len(parts) != 2 {
+			return nil, bad()
+		}
+		v, err := num(1)
+		if err != nil || v < 1 {
+			return nil, bad()
+		}
+		return DelayUniform(int(v)), nil
+	case "geometric", "geom":
+		if len(parts) != 2 && len(parts) != 3 {
+			return nil, bad()
+		}
+		p, err := num(1)
+		if err != nil || p <= 0 || p > 1 {
+			return nil, bad()
+		}
+		max := 0.0
+		if len(parts) == 3 {
+			if max, err = num(2); err != nil {
+				return nil, bad()
+			}
+		}
+		return DelayGeometric(p, int(max)), nil
+	case "pareto":
+		if len(parts) != 2 && len(parts) != 3 {
+			return nil, bad()
+		}
+		alpha, err := num(1)
+		if err != nil || alpha <= 0 {
+			return nil, bad()
+		}
+		max := 0.0
+		if len(parts) == 3 {
+			if max, err = num(2); err != nil {
+				return nil, bad()
+			}
+		}
+		return DelayPareto(alpha, int(max)), nil
+	}
+	return nil, bad()
+}
+
+// WithAsync switches the cluster from the paper's synchronous round
+// model to the asynchronous execution model: Stabilize, ChurnRandom
+// and RunWorkload then step the event-driven asynchronous scheduler,
+// in which each frontier peer activates with probability
+// activationProb per step and messages arrive after a delay drawn from
+// the model (nil = the synchronous delay of 1). Every facade method
+// works unchanged; reports that count "rounds" count asynchronous
+// steps instead. Incompatible with WithFullSweep.
+func WithAsync(activationProb float64, delay DelayModel) Option {
+	return func(c *config) {
+		c.async = true
+		c.asyncProb = activationProb
+		c.asyncDelay = delay
+	}
+}
+
 func (c config) validate() error {
 	if c.size < 1 {
 		return fmt.Errorf("%w: size %d, need at least 1 peer", ErrConfig, c.size)
@@ -111,6 +232,14 @@ func (c config) validate() error {
 	}
 	if c.topology == TopologyStable && (c.disableRing || c.disableConnection) {
 		return fmt.Errorf("%w: the stable topology requires all six rules; use a non-stable topology with WithAblation", ErrConfig)
+	}
+	if c.async {
+		if c.fullSweep {
+			return fmt.Errorf("%w: WithAsync and WithFullSweep are mutually exclusive (the full sweep is a synchronous schedule)", ErrConfig)
+		}
+		if c.asyncProb <= 0 || c.asyncProb > 1 {
+			return fmt.Errorf("%w: async activation probability %v outside (0, 1]", ErrConfig, c.asyncProb)
+		}
 	}
 	return nil
 }

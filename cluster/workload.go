@@ -30,8 +30,8 @@ func eventKindFor(kind string) EventKind {
 // state changed since epoch0. Callers hold the write lock.
 func (c *Cluster) restoreInvariants(epoch0 int) error {
 	c.refreshHomes()
-	if !c.nw.Quiescent() {
-		sim.Run(context.Background(), c.nw, sim.Options{})
+	if !c.sched.Quiescent() {
+		sim.Run(context.Background(), c.sched, sim.Options{})
 	}
 	var err error
 	if _, rerr := c.store.Rebalance(); rerr != nil {
@@ -41,7 +41,7 @@ func (c *Cluster) restoreInvariants(epoch0 int) error {
 		c.cache.Prune()
 	}
 	if epoch := c.nw.EpochClock(); epoch != epoch0 {
-		c.bus.publish(Event{Kind: EventEpochBumped, Epoch: epoch, Round: c.nw.Round()})
+		c.bus.publish(Event{Kind: EventEpochBumped, Epoch: epoch, Round: c.clock()})
 	}
 	return err
 }
@@ -183,7 +183,7 @@ func (c *Cluster) RunWorkload(ctx context.Context, cfg WorkloadConfig) (*Workloa
 		},
 	}
 
-	res, runErr := workload.Run(ctx, c.nw, wcfg)
+	res, runErr := workload.Run(ctx, c.sched, wcfg)
 	if res == nil {
 		switch {
 		case runErr == nil:
@@ -284,9 +284,9 @@ func (c *Cluster) ChurnRandom(ctx context.Context, events int) (recs []Recovery,
 		}
 		// Published as soon as the membership change is visible, before
 		// the repair — the stream's contract.
-		c.bus.publish(Event{Kind: eventKindFor(ev.Kind), Peer: PeerID(ev.ID), Round: c.nw.Round()})
+		c.bus.publish(Event{Kind: eventKindFor(ev.Kind), Peer: PeerID(ev.ID), Round: c.clock()})
 
-		res := sim.Run(ctx, c.nw, sim.Options{})
+		res := sim.Run(ctx, c.sched, sim.Options{})
 		if res.Canceled {
 			return out, ctx.Err()
 		}
@@ -296,7 +296,7 @@ func (c *Cluster) ChurnRandom(ctx context.Context, events int) (recs []Recovery,
 		if verr := churn.VerifyStable(c.nw); verr != nil {
 			return out, fmt.Errorf("%w: after %s of %s: %v", ErrUnstable, ev.Kind, ev.ID, verr)
 		}
-		c.bus.publish(Event{Kind: EventRegionSettled, Rounds: res.Rounds, Peers: c.nw.NumPeers(), Round: c.nw.Round()})
+		c.bus.publish(Event{Kind: EventRegionSettled, Rounds: res.Rounds, Peers: c.nw.NumPeers(), Round: c.clock()})
 		out = append(out, Recovery{Kind: ev.Kind, Peer: PeerID(ev.ID), Rounds: res.Rounds})
 	}
 	return out, nil

@@ -52,6 +52,9 @@ func run(args []string, stdout io.Writer) error {
 		dist    = fs.String("dist", cluster.DistUniform, "workload: key distribution (uniform, zipf, hotspot)")
 		rate    = fs.Float64("rate", 0, "workload: open-loop target ops/sec (0 = closed loop)")
 		nocache = fs.Bool("nocache", false, "disable the epoch-cached table router")
+		model   = fs.String("model", "sync", "execution model: sync or async (re-stabilization under the asynchronous adversary)")
+		asyncP  = fs.Float64("async-p", 0.5, "async: per-step activation probability in (0, 1]")
+		delay   = fs.String("delay", "", "async: message delay model (uniform:MAX, geometric:P[:MAX], pareto:ALPHA[:MAX]; empty = delay 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -80,12 +83,30 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown mode %q (want demo or workload)", *mode)
 	}
 
-	fmt.Fprintf(stdout, "building a stable Re-Chord cluster of %d peers...\n", *n)
-	c, err := cluster.New(
+	opts := []cluster.Option{
 		cluster.WithSize(*n),
 		cluster.WithSeed(*seed),
 		cluster.WithRouterCache(!*nocache),
-	)
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	switch *model {
+	case "sync":
+		if explicit["delay"] || explicit["async-p"] {
+			return fmt.Errorf("-delay and -async-p only apply to -model async")
+		}
+	case "async":
+		dm, err := cluster.ParseDelayModel(*delay)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, cluster.WithAsync(*asyncP, dm))
+	default:
+		return fmt.Errorf("unknown model %q (want sync or async)", *model)
+	}
+
+	fmt.Fprintf(stdout, "building a stable Re-Chord cluster of %d peers (%s execution)...\n", *n, *model)
+	c, err := cluster.New(opts...)
 	if err != nil {
 		return err
 	}

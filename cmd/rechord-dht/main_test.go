@@ -62,3 +62,32 @@ func TestRunHelpIsNotAnError(t *testing.T) {
 		t.Errorf("help output missing usage text:\n%s", out.String())
 	}
 }
+
+func TestRunAsyncWorkload(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-mode", "workload", "-n", "12", "-workers", "4", "-ops", "600",
+		"-keyspace", "128", "-churn", "1", "-model", "async", "-async-p", "0.6", "-delay", "uniform:2"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "async execution") {
+		t.Errorf("output missing async banner:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ops/s") {
+		t.Errorf("output missing workload summary:\n%s", out.String())
+	}
+}
+
+func TestRunAsyncRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-model", "turbo"},
+		{"-model", "async", "-delay", "pareto:0"},
+		{"-delay", "uniform:3"},
+		{"-async-p", "0.3"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) accepted bad flags", args)
+		}
+	}
+}

@@ -39,6 +39,7 @@ var runners = map[string]func(experiments.Config) (*experiments.Result, error){
 	"messages":    experiments.Messages,
 	"healing":     experiments.Healing,
 	"ablation":    experiments.Ablation,
+	"async":       experiments.Async,
 }
 
 func main() {
@@ -104,7 +105,8 @@ func run(args []string, stdout io.Writer) error {
 		names = []string{*exp}
 	default:
 		names = []string{"fig5", "fig6", "fig7", "convergence", "join", "leave", "fail",
-			"fact21", "chordfail", "budget", "lookup", "messages", "healing", "ablation"}
+			"fact21", "chordfail", "budget", "lookup", "messages", "healing", "ablation",
+			"async"}
 	}
 
 	for _, name := range names {

@@ -38,8 +38,11 @@ func run(args []string, stdout io.Writer) error {
 		seed    = fs.Int64("seed", 1, "random seed")
 		workers = fs.Int("workers", 0, "parallel workers per round (0 = all cores)")
 		series  = fs.Bool("series", false, "print the per-round metric series")
-		maxR    = fs.Int("max-rounds", 0, "round budget (0 = derived from n)")
+		maxR    = fs.Int("max-rounds", 0, "round/step budget (0 = derived from n)")
 		dotFile = fs.String("dot", "", "write the final graph in DOT format to this file")
+		model   = fs.String("model", "sync", "execution model: sync (synchronous rounds) or async (event-driven adversary)")
+		asyncP  = fs.Float64("async-p", 0.5, "async: per-step activation probability in (0, 1]")
+		delay   = fs.String("delay", "", "async: message delay model (uniform:MAX, geometric:P[:MAX], pareto:ALPHA[:MAX]; empty = delay 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -54,34 +57,57 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-max-rounds %d is negative", *maxR)
 	}
 
-	c, err := cluster.New(
+	opts := []cluster.Option{
 		cluster.WithSize(*n),
 		cluster.WithSeed(*seed),
 		cluster.WithTopology(*topology),
 		cluster.WithWorkers(*workers),
-	)
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	switch *model {
+	case "sync":
+		if explicit["delay"] || explicit["async-p"] {
+			return fmt.Errorf("-delay and -async-p only apply to -model async")
+		}
+	case "async":
+		dm, err := cluster.ParseDelayModel(*delay)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, cluster.WithAsync(*asyncP, dm))
+	default:
+		return fmt.Errorf("unknown model %q (want sync or async)", *model)
+	}
+
+	c, err := cluster.New(opts...)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
 
-	opts := []cluster.StabilizeOption{
+	stabOpts := []cluster.StabilizeOption{
 		cluster.StabilizeMaxRounds(*maxR),
 		cluster.StabilizeAlmostStable(),
 	}
 	if *series {
-		opts = append(opts, cluster.StabilizeSeries())
+		stabOpts = append(stabOpts, cluster.StabilizeSeries())
 	}
-	rep, err := c.Stabilize(context.Background(), opts...)
+	rep, err := c.Stabilize(context.Background(), stabOpts...)
 	if err != nil && !errors.Is(err, cluster.ErrUnstable) {
 		return err
 	}
 
+	unit := "rounds"
+	if c.ExecutionModel() == "async" {
+		unit = "async steps"
+		fmt.Fprintf(stdout, "execution model: async (activation p=%.2f, delay %q)\n", *asyncP, *delay)
+	}
 	fmt.Fprintf(stdout, "peers: %d, topology: %s, seed: %d\n", *n, *topology, *seed)
 	if rep.Stable {
-		fmt.Fprintf(stdout, "stable after %d rounds (almost stable after %d)\n", rep.Rounds, rep.AlmostStableRound)
+		fmt.Fprintf(stdout, "stable after %d %s (almost stable after %d)\n", rep.Rounds, unit, rep.AlmostStableRound)
 	} else {
-		fmt.Fprintf(stdout, "NOT stable after %d rounds\n", rep.Rounds)
+		fmt.Fprintf(stdout, "NOT stable after %d %s\n", rep.Rounds, unit)
 	}
 	if verr := c.VerifyStable(); verr != nil {
 		fmt.Fprintf(stdout, "final state deviates from the oracle: %v\n", verr)

@@ -66,3 +66,34 @@ func TestRunHelpIsNotAnError(t *testing.T) {
 		t.Errorf("help output missing usage text:\n%s", out.String())
 	}
 }
+
+func TestRunAsyncModel(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "12", "-seed", "3", "-model", "async", "-async-p", "0.5", "-delay", "uniform:3"}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"execution model: async",
+		"async steps",
+		"matches the oracle stable topology",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunAsyncRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-model", "turbo"},
+		{"-model", "async", "-delay", "uniform:x"},
+		{"-model", "sync", "-delay", "uniform:3"},
+		{"-model", "sync", "-async-p", "0.3"},
+		{"-model", "async", "-async-p", "7"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) accepted bad flags", args)
+		}
+	}
+}

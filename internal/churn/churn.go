@@ -51,9 +51,13 @@ func StableNetwork(ctx context.Context, n int, rng *rand.Rand, cfg rechord.Confi
 	return nw, ids, nil
 }
 
-// Apply executes one event and runs the network to the next fixed
-// point, returning the recovery cost.
-func Apply(ctx context.Context, nw *rechord.Network, ev Event, maxRounds int) (Recovery, error) {
+// Apply executes one event and runs the scheduler to the next fixed
+// point, returning the recovery cost. Passing the network itself
+// repairs under synchronous rounds; passing a rechord.AsyncRunner
+// repairs under the asynchronous adversary (Rounds then counts
+// asynchronous steps).
+func Apply(ctx context.Context, s rechord.Scheduler, ev Event, maxRounds int) (Recovery, error) {
+	nw := s.Network()
 	switch ev.Kind {
 	case "join":
 		if err := nw.Join(ev.ID, ev.Contact); err != nil {
@@ -71,9 +75,9 @@ func Apply(ctx context.Context, nw *rechord.Network, ev Event, maxRounds int) (R
 		return Recovery{}, fmt.Errorf("churn: unknown event kind %q", ev.Kind)
 	}
 	if maxRounds <= 0 {
-		maxRounds = sim.DefaultMaxRounds(nw.NumPeers())
+		maxRounds = sim.DefaultBudget(s)
 	}
-	res := sim.Run(ctx, nw, sim.Options{MaxRounds: maxRounds})
+	res := sim.Run(ctx, s, sim.Options{MaxRounds: maxRounds})
 	if res.Canceled {
 		return Recovery{Event: ev, Rounds: res.Rounds}, ctx.Err()
 	}
@@ -87,18 +91,19 @@ func VerifyStable(nw *rechord.Network) error {
 }
 
 // RunSequence applies a series of events, verifying convergence to the
-// correct stable state after each one.
-func RunSequence(ctx context.Context, nw *rechord.Network, events []Event, maxRounds int) ([]Recovery, error) {
+// correct stable state after each one, under whichever scheduler is
+// active.
+func RunSequence(ctx context.Context, s rechord.Scheduler, events []Event, maxRounds int) ([]Recovery, error) {
 	out := make([]Recovery, 0, len(events))
 	for _, ev := range events {
-		rec, err := Apply(ctx, nw, ev, maxRounds)
+		rec, err := Apply(ctx, s, ev, maxRounds)
 		if err != nil {
 			return out, err
 		}
 		if !rec.Stable {
 			return out, fmt.Errorf("churn: network did not re-stabilize after %v", ev)
 		}
-		if err := VerifyStable(nw); err != nil {
+		if err := VerifyStable(s.Network()); err != nil {
 			return out, fmt.Errorf("churn: wrong state after %v: %w", ev, err)
 		}
 		out = append(out, rec)

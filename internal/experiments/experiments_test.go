@@ -134,3 +134,13 @@ func TestHealingQuick(t *testing.T) {
 		}
 	}
 }
+
+func TestAsyncQuick(t *testing.T) {
+	cfg := Quick()
+	cfg.Reps = 2
+	r, err := Async(cfg)
+	checkResult(t, r, err, "steps_p100", "steps_p50", "steps_p25")
+	if len(r.Series) != len(asyncProbs) {
+		t.Errorf("async series = %d, want one per activation probability", len(r.Series))
+	}
+}

@@ -1,51 +1,143 @@
 package rechord
 
 import (
+	"container/heap"
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/ident"
 )
 
 // AsyncRunner executes the protocol under an asynchronous adversary,
 // one step beyond the paper's synchronous model (its conclusion asks
 // whether the approach extends; Clouser et al. treat linearization
-// asynchronously). Per step, each peer is activated independently with
+// asynchronously). Per step, each frontier peer is activated with
 // probability ActivationProb — idle peers neither read nor send — and
-// every message is delivered after a random delay of 1..MaxDelay
-// steps. Rule guards read whatever the other peers' published state
-// happens to be at activation time, so all the staleness the
+// messages are delivered after a delay drawn from the pluggable
+// DelayModel. Rule guards read whatever the other peers' published
+// state happens to be at activation time, so all the staleness the
 // synchronous model forbids is exercised here.
 //
-// Fairness (every peer activated infinitely often, every message
-// eventually delivered) is guaranteed in expectation for any
-// ActivationProb > 0 and finite MaxDelay, which is the standard
+// The runner is an event-driven Scheduler over the same dirty-set
+// infrastructure as the synchronous round engine: a priority queue of
+// activation and delivery events. Only frontier peers hold a pending
+// activation event (the per-step Bernoulli(p) coin flips collapse into
+// one geometric draw per wake-up), and the level and published-rl/rr
+// caches update by diff at every batch barrier — the wholesale
+// rebuildLevels/rebuildView plus full peer scan of the original
+// implementation is gone from the hot path entirely. A quiescent
+// network with an empty delivery queue makes Step O(1).
+//
+// Message flow is two-tier, matching how the activity-tracked engine
+// models the paper's repeating output flow:
+//
+//   - A link contribution that CHANGED at a sender's run travels as
+//     one-shot messages with a drawn delay, consumed exactly once by
+//     the recipient — the faithful per-emission semantics. Replaying
+//     changing (transient) versions out of a standing bucket instead
+//     provably destabilizes the system: when the delay spread is
+//     comparable to the inter-activation gap, repeated re-consumption
+//     of already superseded flow keeps re-perturbing settled regions
+//     and the network never quiesces.
+//   - A link contribution that survived two consecutive runs unchanged
+//     is run-stable: it is installed as the sender's standing
+//     per-sender inbox bucket (without waking the recipient, which
+//     already received the version's one-shots) and from then on
+//     represents the sender's repeating flow — recipients re-consume
+//     it at every activation, and a peer at a local fixed point costs
+//     nothing while still "sending" every step.
+//
+// With ActivationProb = 1 and every delay equal to 1, the runner
+// executes the synchronous schedule step for step: the global state —
+// edge sets, rl/rr, and the pending-message multiset (a one-shot in
+// flight and a standing bucket carry the same messages) — agrees with
+// Network.Step round for round, churn included (the lockstep property
+// test proves it).
+//
+// Fairness (every awake peer activated in finite expected time, every
+// message delivered after a bounded draw) holds for any ActivationProb
+// > 0 and any delay model with a finite cap, which is the standard
 // premise for asynchronous self-stabilization.
 type AsyncRunner struct {
 	nw  *Network
 	cfg AsyncConfig
 	rng *rand.Rand
 
-	pending []delayedMessage
-	step    int
+	step       int // asynchronous steps executed; independent of nw.round
+	lastChange int // most recent step whose execution changed the state
+
+	events     eventQueue
+	seq        uint64                 // deterministic heap tiebreak
+	scheduled  map[ident.ID]bool      // peers holding a pending activation event
+	deliveries int                    // pending delivery events
+	inflight   int                    // messages inside pending delivery events
+	fIdx       int                    // prefix of nw.frontier already drained
+	active     []ident.ID             // batch scratch
+	pend       []ident.ID             // drain scratch
+	newBy      map[ident.ID][]Message // routing scratch
+	oldBy      map[ident.ID][]Message // routing scratch
+	touched    []ident.ID             // routing scratch
+	fp         uint64                 // event-order fingerprint
 }
 
 // AsyncConfig parameterizes the adversary.
 type AsyncConfig struct {
-	// ActivationProb is the per-step probability that a peer executes
-	// its rules. 1 with MaxDelay 1 degenerates to the synchronous
-	// model.
+	// ActivationProb is the per-step probability that a frontier peer
+	// executes its rules. 1 with delay 1 degenerates to the synchronous
+	// schedule.
 	ActivationProb float64
-	// MaxDelay is the maximum message delay in steps (minimum 1).
+	// MaxDelay is the maximum message delay in steps (minimum 1) of the
+	// default uniform delay model. Ignored when Delay is set.
 	MaxDelay int
+	// Delay, when non-nil, replaces the uniform 1..MaxDelay model; see
+	// UniformDelay, GeometricDelay, ParetoDelay and LinkDelay.
+	Delay DelayModel
 }
 
-type delayedMessage struct {
-	msg     Message
-	readyAt int
+const (
+	evActivation = iota
+	evDelivery
+)
+
+// asyncEvent is one entry of the scheduler's priority queue: either
+// "peer activates at step `at`" or "these one-shot messages reach the
+// recipient at step `at`".
+type asyncEvent struct {
+	at   int
+	seq  uint64
+	kind int
+	peer ident.ID // activation: who runs; delivery: the recipient
+	msgs []Message
+}
+
+// eventQueue is a min-heap ordered by (at, seq): virtual time first,
+// then deterministic insertion order.
+type eventQueue []*asyncEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*asyncEvent)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
 }
 
 // NewAsyncRunner wraps a network for asynchronous execution. The
-// network must not be stepped synchronously while the runner is used.
+// network must not be stepped synchronously while the runner is used;
+// Config.FullSweep is ignored (the asynchronous scheduler is always
+// incremental). Standing buckets left by earlier synchronous rounds
+// remain valid: they are the senders' repeating flow under any
+// schedule.
 func NewAsyncRunner(nw *Network, cfg AsyncConfig, rng *rand.Rand) *AsyncRunner {
 	if cfg.ActivationProb <= 0 || cfg.ActivationProb > 1 {
 		cfg.ActivationProb = 0.5
@@ -53,114 +145,373 @@ func NewAsyncRunner(nw *Network, cfg AsyncConfig, rng *rand.Rand) *AsyncRunner {
 	if cfg.MaxDelay < 1 {
 		cfg.MaxDelay = 1
 	}
-	// Absorb any standing flow left by synchronous rounds into one-shot
-	// deliveries: the asynchronous adversary has no repeating-output
-	// schedule, so buckets would otherwise replay stale messages.
-	for _, n := range nw.nodes {
-		if len(n.in) > 0 {
-			for _, ms := range n.in {
-				n.inbox = append(n.inbox, ms...)
+	if cfg.Delay == nil {
+		cfg.Delay = UniformDelay{Max: cfg.MaxDelay}
+	} else {
+		// MaxDelay only sizes step budgets when a custom model is set;
+		// infer a typical delay from the known models so callers need
+		// not duplicate their parameters.
+		switch m := cfg.Delay.(type) {
+		case UniformDelay:
+			if m.Max > cfg.MaxDelay {
+				cfg.MaxDelay = m.Max
 			}
-			n.in = nil
+		case GeometricDelay:
+			if m.P > 0 && m.P < 1 {
+				if d := int(2 / m.P); d > cfg.MaxDelay {
+					cfg.MaxDelay = d
+				}
+			}
+		case ParetoDelay:
+			if d := m.Max; d > 0 && d > cfg.MaxDelay {
+				cfg.MaxDelay = d
+			} else if m.Max <= 0 && cfg.MaxDelay < 8 {
+				cfg.MaxDelay = 8
+			}
+		case LinkDelay:
+			if m.Max > cfg.MaxDelay {
+				cfg.MaxDelay = m.Max
+			}
 		}
 	}
-	nw.bucketMsgs = 0
-	return &AsyncRunner{nw: nw, cfg: cfg, rng: rng}
+	return &AsyncRunner{
+		nw:        nw,
+		cfg:       cfg,
+		rng:       rng,
+		scheduled: make(map[ident.ID]bool),
+	}
 }
 
 // Network returns the wrapped network.
 func (a *AsyncRunner) Network() *Network { return a.nw }
 
-// Steps returns the number of asynchronous steps executed.
+// Steps returns the number of asynchronous steps executed. The
+// network's synchronous round counter is untouched by the runner, so
+// round-based telemetry (epochs, event timestamps) never conflates
+// rounds with steps.
 func (a *AsyncRunner) Steps() int { return a.step }
 
-// Step executes one asynchronous step: deliver due messages, activate
-// a random peer subset, collect their output with fresh random delays.
-// It returns the number of peers activated.
-func (a *AsyncRunner) Step() int {
-	a.step++
+// Time is Steps under the Scheduler interface's name.
+func (a *AsyncRunner) Time() int { return a.step }
+
+// LastChange returns the most recent step whose execution changed the
+// global state (0 if none did yet).
+func (a *AsyncRunner) LastChange() int { return a.lastChange }
+
+// Wake schedules the peer to run, like Network.Wake; the activation
+// coin is first flipped on the next step.
+func (a *AsyncRunner) Wake(id ident.ID) { a.nw.Wake(id) }
+
+// Quiescent reports whether the asynchronous execution is at its fixed
+// point: no frontier peer and no pending delivery that could still
+// change anything. Every further Step is the identity on the global
+// state.
+func (a *AsyncRunner) Quiescent() bool {
+	return a.deliveries == 0 && a.nw.Quiescent()
+}
+
+// InFlight returns the number of messages currently in flight:
+// standing buckets, one-shot inbox entries, and messages inside
+// pending delivery events.
+func (a *AsyncRunner) InFlight() int { return a.inflight + a.nw.InFlight() }
+
+// StepBudgetScale reports how many asynchronous steps one synchronous
+// round is worth, for sizing run budgets: activation slows the
+// frontier by 1/p and deliveries add up to MaxDelay steps of latency.
+func (a *AsyncRunner) StepBudgetScale() float64 {
+	d := float64(a.cfg.MaxDelay)
+	if d < 1 {
+		d = 1
+	}
+	return (d + 1) / a.cfg.ActivationProb
+}
+
+// EventFingerprint returns a hash over the ordered stream of executed
+// events (activations and deliveries with their step stamps). Two runs
+// with the same seed, configuration and operation sequence produce the
+// same fingerprint — the determinism contract's checkable form.
+func (a *AsyncRunner) EventFingerprint() uint64 { return a.fp }
+
+func (a *AsyncRunner) mixEvent(kind, at int, id ident.ID) {
+	h := a.fp
+	if h == 0 {
+		h = 14695981039346656037
+	}
+	for _, w := range [...]uint64{uint64(kind), uint64(at), uint64(id)} {
+		for s := 0; s < 64; s += 8 {
+			h ^= (w >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	a.fp = h
+}
+
+// activationWait draws the number of steps until a newly woken peer's
+// Bernoulli(p) activation coin first comes up, starting with the
+// current step: 0 means "activates immediately". One inversion draw
+// replaces the per-step coin flips, which is what makes idle time free.
+func (a *AsyncRunner) activationWait() int {
+	return geometricDraw(a.rng, a.cfg.ActivationProb)
+}
+
+// drainFrontier scans the frontier entries appended since the last
+// drain and gives every newly dirty peer an activation event. start is
+// the step of the peer's first coin flip; when immediate is non-nil a
+// zero wait activates the peer in the current batch (its flip at
+// `start` came up heads), otherwise the event goes through the queue.
+func (a *AsyncRunner) drainFrontier(start int, immediate *[]ident.ID) {
 	nw := a.nw
-
-	// Deliver messages whose delay expired into the peers' inboxes.
-	keep := a.pending[:0]
-	for _, dm := range a.pending {
-		if dm.readyAt > a.step {
-			keep = append(keep, dm)
-			continue
+	fr := nw.frontier
+	if a.fIdx < len(fr) {
+		// The frontier is appended to in map-iteration order by
+		// wakeDependents; sort the new entries so the rng draw sequence
+		// (and hence the whole schedule) is seed-deterministic.
+		pend := a.pend[:0]
+		for _, id := range fr[a.fIdx:] {
+			if n, ok := nw.nodes[id]; ok && n.dirty && !a.scheduled[id] {
+				pend = append(pend, id)
+			}
 		}
-		if dst, ok := nw.nodes[dm.msg.To.Owner]; ok {
-			dst.inbox = append(dst.inbox, dm.msg)
+		a.fIdx = len(fr)
+		ident.Sort(pend)
+		for _, id := range pend {
+			n, ok := nw.nodes[id]
+			if !ok || !n.dirty || a.scheduled[id] {
+				continue
+			}
+			at := start + a.activationWait()
+			if immediate != nil && at <= start {
+				n.dirty = false
+				*immediate = append(*immediate, id)
+				continue
+			}
+			a.scheduled[id] = true
+			a.seq++
+			heap.Push(&a.events, &asyncEvent{at: at, seq: a.seq, kind: evActivation, peer: id})
+		}
+		a.pend = pend
+	}
+	// Compact the frontier once the stale prefix dominates, so a long
+	// asynchronous run cannot grow it without bound (the synchronous
+	// engine truncates it every round; the runner owns it instead).
+	if len(fr) > 4*nw.NumPeers()+64 {
+		kept := fr[:0]
+		for _, id := range fr {
+			if n, ok := nw.nodes[id]; ok && n.dirty {
+				kept = append(kept, id)
+			}
+		}
+		nw.frontier = kept
+		a.fIdx = len(kept)
+	}
+}
+
+// route is the runner's barrier output routing, called for every
+// active peer with whether the run changed its total output and its
+// own protocol state. Per recipient link:
+//
+//   - An unchanged contribution is (if not yet) installed as the
+//     standing bucket, silently: its content already reached the
+//     recipient when it last changed, the bucket is just the repeating
+//     representation from then on.
+//   - A changed contribution of a STATE-CHANGING run revokes the
+//     standing bucket and travels as one-shot messages after a drawn
+//     delay (delay 1 lands in the recipient's inbox at this barrier,
+//     the synchronous timing: it is consumed next step). This is the
+//     faithful per-emission semantics for knowledge handoffs: a rule-4
+//     forward moves an edge out of the sender's state into the
+//     message, so it must arrive exactly once and never be destroyed
+//     by a bucket rewrite — and, conversely, must not be replayed out
+//     of a bucket after the system moved past it.
+//   - A changed contribution of a STATE-STABLE run is rewritten into
+//     the standing bucket exactly like the synchronous barrier does.
+//     These are the self-regenerating relay flows (rules 3, 5 and 6
+//     keep re-deriving them from unchanged state every run); carrying
+//     them in buckets gives every downstream run the same input view,
+//     so relay chains stop flapping with arrival phases and the
+//     network can actually quiesce. Either failure mode is real:
+//     one-shot relays never settle (phase-dependent outputs forever),
+//     bucket-carried handoffs destabilize convergence (stale replays).
+//
+// Recipients are visited in identifier order so the rng draw sequence
+// is reproducible.
+func (a *AsyncRunner) route(n *RealNode, out []Message, outChanged, stateChanged bool) {
+	nw := a.nw
+	if a.newBy == nil {
+		a.newBy = make(map[ident.ID][]Message)
+		a.oldBy = make(map[ident.ID][]Message)
+	}
+	newBy, oldBy, touched := a.newBy, a.oldBy, a.touched[:0]
+	for _, m := range out {
+		if _, ok := newBy[m.To.Owner]; !ok {
+			touched = append(touched, m.To.Owner)
+		}
+		newBy[m.To.Owner] = append(newBy[m.To.Owner], m)
+	}
+	if outChanged {
+		for _, m := range n.lastOut {
+			if _, ok := oldBy[m.To.Owner]; !ok {
+				if _, inNew := newBy[m.To.Owner]; !inNew {
+					touched = append(touched, m.To.Owner)
+				}
+			}
+			oldBy[m.To.Owner] = append(oldBy[m.To.Owner], m)
 		}
 	}
-	a.pending = keep
-
-	// The asynchronous runner bypasses the synchronous scheduler, so
-	// the level and published-state caches are refreshed wholesale to
-	// whatever the peers' states happen to be at this step.
-	nw.rebuildLevels()
-	nw.rebuildView()
-	activated := 0
-	for _, id := range nw.order {
-		if a.rng.Float64() >= a.cfg.ActivationProb {
-			continue
-		}
-		activated++
-		n := nw.nodes[id]
-		nw.deliver(n)
-		nw.purge(n)
-		// The async runner keeps no pre-activation copy; stamp every
-		// activated peer so epoch-keyed caches stay conservative.
-		nw.bumpEpoch(n)
-		res := nw.runRules(n, nil)
-		n.lastOut = res.out
-		for _, msg := range res.out {
-			a.pending = append(a.pending, delayedMessage{
-				msg:     msg,
-				readyAt: a.step + 1 + a.rng.Intn(a.cfg.MaxDelay),
-			})
+	ident.Sort(touched)
+	for _, dstID := range touched {
+		newC := newBy[dstID]
+		changed := outChanged && !sameMessages(oldBy[dstID], newC)
+		dst, alive := nw.nodes[dstID]
+		switch {
+		case !changed:
+			// Run-stable contribution: ensure the standing bucket holds
+			// it, without waking the recipient.
+			if alive && len(newC) > 0 && !sameMessages(dst.in[n.id], newC) {
+				nw.installBucketQuiet(dst, n.id, newC)
+			}
+		case !stateChanged:
+			// Relay flow: synchronous bucket rewrite, waking the
+			// recipient when its standing input changed.
+			nw.rerouteOne(n.id, dstID, newC)
+		case len(newC) == 0:
+			if nw.dropBucket(dst, alive, n.id) {
+				nw.markDirty(dstID)
+			}
+		default:
+			nw.dropBucket(dst, alive, n.id)
+			if !alive {
+				continue
+			}
+			d := clampDelay(a.cfg.Delay.Delay(a.rng, n.id, dstID), 0)
+			if d <= 1 {
+				// Synchronous timing: lands now, consumed next step.
+				a.mixEvent(evDelivery, a.step, dstID)
+				dst.inbox = append(dst.inbox, newC...)
+				nw.markDirty(dstID)
+				continue
+			}
+			a.seq++
+			a.deliveries++
+			a.inflight += len(newC)
+			heap.Push(&a.events, &asyncEvent{at: a.step + d, seq: a.seq, kind: evDelivery, peer: dstID, msgs: newC})
 		}
 	}
-	nw.round++
-	return activated
+	for _, dstID := range touched {
+		delete(newBy, dstID)
+		delete(oldBy, dstID)
+	}
+	a.touched = touched
+}
+
+// Step advances virtual time by one: deliver the due one-shot
+// messages, activate the frontier peers whose coin came up, run their
+// rules as one phased batch (identical to a synchronous round barrier
+// over that subset), and route the outputs through the delay model. A
+// step with nothing due is O(1).
+func (a *AsyncRunner) Step() RoundStats {
+	a.step++
+	now := a.step
+	nw := a.nw
+	stats := RoundStats{Round: now}
+	changed := false
+
+	// Fire due events: deliveries land in the recipients' inboxes and
+	// wake them; due activations form this step's batch.
+	active := a.active[:0]
+	for len(a.events) > 0 && a.events[0].at <= now {
+		ev := heap.Pop(&a.events).(*asyncEvent)
+		switch ev.kind {
+		case evDelivery:
+			a.deliveries--
+			a.inflight -= len(ev.msgs)
+			if dst, ok := nw.nodes[ev.peer]; ok {
+				a.mixEvent(evDelivery, ev.at, ev.peer)
+				dst.inbox = append(dst.inbox, ev.msgs...)
+				nw.markDirty(ev.peer)
+				changed = true
+			}
+		case evActivation:
+			delete(a.scheduled, ev.peer)
+			if n, ok := nw.nodes[ev.peer]; ok && n.dirty {
+				n.dirty = false
+				active = append(active, ev.peer)
+			}
+		}
+	}
+
+	// Peers woken since the last step — external churn and seeding, and
+	// the deliveries just applied — flip their first coin at this step:
+	// a zero wait joins the current batch.
+	a.drainFrontier(now, &active)
+
+	if len(active) > 0 {
+		ident.Sort(active)
+		for _, id := range active {
+			a.mixEvent(evActivation, now, id)
+		}
+		stats.Activated = len(active)
+		if nw.runBatch(active, true, a.route, &stats) {
+			changed = true
+		}
+	}
+	a.active = active[:0]
+
+	// Peers re-dirtied at the barrier (their own unsettled run, bucket
+	// revocations, wakeDependents) flip their first coin next step.
+	a.drainFrontier(now+1, nil)
+
+	if changed {
+		a.lastChange = now
+	}
+	stats.MessagesSent = nw.bucketMsgs
+	return stats
 }
 
 // RunUntilLegal executes steps until the network state matches the
-// ideal stable topology for its current peers (checked every `every`
-// steps), or the step budget runs out. It reports the steps taken and
-// whether the legal state was reached.
+// ideal stable topology for its current peers (checked at quiescence
+// or every `every` steps), or the step budget runs out. It reports the
+// total steps taken and whether the legal state was reached.
 func (a *AsyncRunner) RunUntilLegal(idl *Ideal, maxSteps, every int) (int, bool) {
 	if every < 1 {
 		every = 1
 	}
 	for s := 0; s < maxSteps; s++ {
 		a.Step()
-		if s%every == 0 && idl.Matches(a.nw) == nil {
+		if (s%every == 0 || a.Quiescent()) && idl.Matches(a.nw) == nil {
 			return a.step, true
 		}
 	}
 	return a.step, idl.Matches(a.nw) == nil
 }
 
-// PendingMessages returns the number of messages currently in flight.
-func (a *AsyncRunner) PendingMessages() int {
-	n := len(a.pending)
-	for _, node := range a.nw.nodes {
-		n += len(node.inbox)
-	}
-	return n
-}
+// PendingMessages returns the number of messages currently in flight
+// (InFlight under the legacy name).
+func (a *AsyncRunner) PendingMessages() int { return a.InFlight() }
 
 // PendingByKind breaks the in-flight messages down by edge kind, for
 // the async experiments.
 func (a *AsyncRunner) PendingByKind() map[graph.Kind]int {
 	out := map[graph.Kind]int{}
-	for _, dm := range a.pending {
-		out[dm.msg.Kind]++
+	for _, ev := range a.events {
+		if ev.kind != evDelivery {
+			continue
+		}
+		for _, msg := range ev.msgs {
+			out[msg.Kind]++
+		}
 	}
 	for _, node := range a.nw.nodes {
 		for _, msg := range node.inbox {
 			out[msg.Kind]++
 		}
+		for _, ms := range node.in {
+			for _, msg := range ms {
+				out[msg.Kind]++
+			}
+		}
 	}
 	return out
 }
+
+var _ Scheduler = (*AsyncRunner)(nil)

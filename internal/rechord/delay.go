@@ -1,0 +1,134 @@
+package rechord
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/ident"
+)
+
+// DelayModel draws the delivery delay, in scheduler steps, of one
+// message batch from one peer to another under the asynchronous
+// adversary. Implementations must return at least 1 (a delay of 1 is
+// the synchronous timing: sent at step t, processed at step t+1) and
+// must draw all randomness from the supplied rng, so a run is
+// reproducible from its seed.
+//
+// A model with a finite maximum (or a finite mean and the runner's
+// internal cap) preserves the fairness premise of asynchronous
+// self-stabilization: every message is eventually delivered.
+type DelayModel interface {
+	Delay(rng *rand.Rand, from, to ident.ID) int
+}
+
+// maxModelDelay caps every model's draw so one heavy-tail outlier
+// cannot stall fairness (or the event queue) indefinitely.
+const maxModelDelay = 1 << 16
+
+func clampDelay(d, max int) int {
+	if max >= 1 && d > max {
+		d = max
+	}
+	if d > maxModelDelay {
+		d = maxModelDelay
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// UniformDelay delays every message uniformly in 1..Max — the classic
+// bounded-delay adversary (and the model the original AsyncRunner
+// implemented). Max < 2 means every delay is exactly 1.
+type UniformDelay struct {
+	Max int
+}
+
+// Delay draws uniformly from 1..Max.
+func (u UniformDelay) Delay(rng *rand.Rand, _, _ ident.ID) int {
+	if u.Max < 2 {
+		return 1
+	}
+	return 1 + rng.Intn(u.Max)
+}
+
+// geometricDraw returns the number of failures before the first
+// success of a Bernoulli(p), via inversion (one rng draw), capped at
+// maxModelDelay. p outside (0, 1) draws nothing and returns 0 — the
+// degenerate always-succeeds coin.
+func geometricDraw(rng *rand.Rand, p float64) int {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	w := int(math.Floor(math.Log(u) / math.Log(1-p)))
+	if w < 0 {
+		w = 0
+	}
+	if w > maxModelDelay {
+		w = maxModelDelay
+	}
+	return w
+}
+
+// GeometricDelay delays each message 1 + Geometric(P) steps: most
+// messages arrive promptly, a geometric tail arrives late. P in (0,1]
+// is the per-step delivery probability (mean delay 1/P); Max, when
+// positive, caps the draw.
+type GeometricDelay struct {
+	P   float64
+	Max int
+}
+
+// Delay draws 1 + the number of failures before the first success of a
+// Bernoulli(P), via inversion (one rng draw).
+func (g GeometricDelay) Delay(rng *rand.Rand, _, _ ident.ID) int {
+	return clampDelay(1+geometricDraw(rng, g.P), g.Max)
+}
+
+// ParetoDelay delays messages by a heavy-tailed Pareto(Alpha) draw:
+// the adversary that occasionally holds a message back for a very long
+// time, the regime where self-stabilization arguments are most
+// stressed. Alpha > 1 keeps the mean finite (smaller Alpha = heavier
+// tail); Max, when positive, caps the draw.
+type ParetoDelay struct {
+	Alpha float64
+	Max   int
+}
+
+// Delay draws ceil(U^(-1/Alpha)) via inversion.
+func (p ParetoDelay) Delay(rng *rand.Rand, _, _ ident.ID) int {
+	a := p.Alpha
+	if a <= 0 {
+		a = 1.5
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return clampDelay(int(math.Ceil(math.Pow(u, -1/a))), p.Max)
+}
+
+// LinkDelay derives each message's delay from the (from, to) pair via
+// a deterministic latency function — a per-link latency map, e.g. a
+// topology where some region pairs are far apart. The function's
+// result is clamped to at least 1 (and to Max when positive). Max also
+// tells the runner the map's largest latency so default step budgets
+// scale with it; leave it 0 only if the latencies are small or callers
+// set explicit budgets.
+type LinkDelay struct {
+	Fn  func(from, to ident.ID) int
+	Max int
+}
+
+// Delay applies the latency function (no randomness consumed).
+func (l LinkDelay) Delay(_ *rand.Rand, from, to ident.ID) int {
+	if l.Fn == nil {
+		return 1
+	}
+	return clampDelay(l.Fn(from, to), l.Max)
+}

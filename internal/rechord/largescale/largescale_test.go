@@ -84,3 +84,48 @@ func TestN1024ChurnAbsorbedLocally(t *testing.T) {
 	}
 	t.Logf("failure woke %d/%d peers", woken, n)
 }
+
+// TestAsyncN2048Converges: the event-driven asynchronous scheduler
+// settles a large network too — the acceptance bar for the scheduler
+// layer. The run goes through sim.RunToStable exactly like the
+// synchronous path (the unified scheduler interface), with activation
+// probability 0.5 and messages delayed up to 3 steps. Beyond
+// convergence to the exact ideal state, quiescent async steps must
+// stay frontier-proportional: stepping a settled network re-dirties
+// nobody and costs microseconds, not an O(n) rebuild.
+func TestAsyncN2048Converges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("N=2048 async convergence skipped with -short")
+	}
+	const n = 2048
+	rng := rand.New(rand.NewSource(2048))
+	ids := topogen.RandomIDs(n, rng)
+	nw := topogen.PreStabilized().Build(ids, rng, rechord.Config{})
+	runner := rechord.NewAsyncRunner(nw, rechord.AsyncConfig{ActivationProb: 0.5, MaxDelay: 3}, rng)
+	start := time.Now()
+	res, err := sim.RunToStable(context.Background(), runner, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !runner.Quiescent() {
+		t.Fatal("stable async network not quiescent")
+	}
+	if err := rechord.ComputeIdeal(ids).Matches(nw); err != nil {
+		t.Fatalf("n=%d async converged to wrong state: %v", n, err)
+	}
+	t.Logf("n=%d: settled in %d async steps, %v", n, res.Rounds, time.Since(start))
+
+	start = time.Now()
+	const extra = 1000
+	for i := 0; i < extra; i++ {
+		runner.Step()
+	}
+	perStep := time.Since(start) / extra
+	t.Logf("quiescent async step cost: %v", perStep)
+	if nw.FrontierSize() != 0 {
+		t.Fatal("quiescent async steps re-dirtied peers")
+	}
+	if nw.Round() != 0 {
+		t.Fatalf("async run advanced the synchronous round counter to %d", nw.Round())
+	}
+}

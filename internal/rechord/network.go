@@ -35,9 +35,11 @@ type Config struct {
 	FullSweep bool
 }
 
-// RoundStats reports what happened during one Step.
+// RoundStats reports what happened during one Step of a Scheduler:
+// one synchronous round, or one asynchronous time step.
 type RoundStats struct {
-	Round         int // the round number just executed (1-based)
+	Round         int // the round or step number just executed (1-based)
+	Activated     int // peers whose rules ran this step
 	MessagesSent  int
 	VirtualMade   int
 	VirtualKilled int
@@ -462,9 +464,28 @@ func (nw *Network) Step() RoundStats {
 		}
 	}
 
-	// Collect the frontier into a deterministic (sorted) active list,
-	// clearing flags so that barrier-time re-dirtying schedules peers
-	// for the NEXT round.
+	active := nw.collectFrontier()
+	stats.Activated = len(active)
+	if len(active) == 0 {
+		// Quiescent: the round is the identity on the global state.
+		// The standing buckets are exactly the messages every peer
+		// keeps regenerating, so the per-round flow is their count.
+		stats.MessagesSent = nw.bucketMsgs
+		return stats
+	}
+
+	if nw.runBatch(active, !nw.cfg.FullSweep, nw.syncRoute, &stats) {
+		nw.lastChange = nw.round
+	}
+	stats.MessagesSent = nw.bucketMsgs
+	return stats
+}
+
+// collectFrontier drains the frontier into a deterministic (sorted)
+// active list, clearing dirty flags so that barrier-time re-dirtying
+// schedules peers for the NEXT round. The returned slice is owned by
+// the network and reused across rounds.
+func (nw *Network) collectFrontier() []ident.ID {
 	active := nw.active[:0]
 	for _, id := range nw.frontier {
 		if n, ok := nw.nodes[id]; ok && n.dirty {
@@ -474,18 +495,31 @@ func (nw *Network) Step() RoundStats {
 	}
 	nw.frontier = nw.frontier[:0]
 	nw.active = active
-	if len(active) == 0 {
-		// Quiescent: the round is the identity on the global state.
-		// The standing buckets are exactly the messages every peer
-		// keeps regenerating, so the per-round flow is their count.
-		stats.MessagesSent = nw.bucketMsgs
-		return stats
+	if len(active) > 1 {
+		ident.Sort(active)
 	}
-	ident.Sort(active)
+	return active
+}
 
+// runBatch executes one phased batch over the active (sorted) peers:
+// deliver and purge serially, run rules 1-6 in parallel, then publish
+// level and rl/rr diffs, route changed outputs, settle unchanged peers
+// and wake dependents at the barrier. It reports whether the global
+// state changed.
+//
+// The route callback is the only point where the synchronous and
+// asynchronous schedulers differ: it is called for every executed peer
+// with its output and whether that output changed. The round engine
+// rewrites the standing buckets in place on change (reroute — the
+// output is visible at every recipient next round), while the
+// asynchronous scheduler routes each changed per-recipient
+// contribution through its delay model and installs run-stable ones as
+// buckets. With settle=false (the full sweep) no pre-round copy is
+// kept: every executed peer is re-stamped and none leaves the frontier
+// early.
+func (nw *Network) runBatch(active []ident.ID, settle bool, route func(n *RealNode, out []Message, outChanged, stateChanged bool), stats *RoundStats) bool {
 	// Phase 1 (serial): deliver and purge the active peers, keeping a
 	// pre-round copy of their own state for the settle check.
-	settle := !nw.cfg.FullSweep
 	if cap(nw.results) < len(active) {
 		nw.results = make([]nodeResult, len(active))
 		nw.pres = make([]map[int]*VNode, len(active))
@@ -603,14 +637,18 @@ func (nw *Network) Step() RoundStats {
 
 		// Route the output. Only contributions that differ from the
 		// standing buckets touch memory or wake recipients.
+		stateChanged := false
+		if settle {
+			stateChanged = !n.vnodesEqual(pres[i])
+			pres[i] = nil
+		}
 		out := res.out
 		outChanged := !sameMessages(out, n.lastOut)
+		route(n, out, outChanged, stateChanged)
 		if outChanged {
-			nw.reroute(n, out)
 			changed = true
 		}
 		if settle {
-			stateChanged := !n.vnodesEqual(pres[i])
 			if stateChanged {
 				nw.bumpEpoch(n)
 			}
@@ -619,7 +657,6 @@ func (nw *Network) Step() RoundStats {
 				nw.markDirty(id)
 				changed = true
 			}
-			pres[i] = nil
 		} else {
 			// The full sweep keeps no pre-round copy to diff against, so
 			// every executed peer is stamped (conservative: epoch-keyed
@@ -635,11 +672,15 @@ func (nw *Network) Step() RoundStats {
 	if len(ownerChanged) > 0 || len(viewChanged) > 0 {
 		nw.wakeDependents(ownerChanged, viewChanged)
 	}
-	if changed {
-		nw.lastChange = nw.round
+	return changed
+}
+
+// syncRoute is the synchronous engine's barrier routing: an unchanged
+// output leaves the standing buckets alone, a changed one is rerouted.
+func (nw *Network) syncRoute(n *RealNode, out []Message, outChanged, _ bool) {
+	if outChanged {
+		nw.reroute(n, out)
 	}
-	stats.MessagesSent = nw.bucketMsgs
-	return stats
 }
 
 // reroute replaces sender n's standing contributions with its new
@@ -659,26 +700,64 @@ func (nw *Network) reroute(n *RealNode, out []Message) {
 		touched[m.To.Owner] = true
 	}
 	for dstID := range touched {
-		dst, ok := nw.nodes[dstID]
-		if !ok {
-			continue // destination departed
-		}
-		oldB := dst.in[n.id]
-		newB := newBy[dstID]
-		if sameMessages(oldB, newB) {
-			continue
-		}
-		nw.bucketMsgs += len(newB) - len(oldB)
-		if len(newB) == 0 {
-			delete(dst.in, n.id)
-		} else {
-			if dst.in == nil {
-				dst.in = make(map[ident.ID][]Message)
-			}
-			dst.in[n.id] = newB
-		}
-		nw.markDirty(dstID)
+		nw.rerouteOne(n.id, dstID, newBy[dstID])
 	}
+}
+
+// rerouteOne replaces one sender's standing contribution at one
+// recipient, waking the recipient only when the contribution actually
+// changed. An empty contribution deletes the bucket; a departed
+// recipient is a no-op.
+func (nw *Network) rerouteOne(sender, dstID ident.ID, newB []Message) {
+	dst, ok := nw.nodes[dstID]
+	if !ok {
+		return // destination departed
+	}
+	oldB := dst.in[sender]
+	if sameMessages(oldB, newB) {
+		return
+	}
+	nw.bucketMsgs += len(newB) - len(oldB)
+	if len(newB) == 0 {
+		delete(dst.in, sender)
+	} else {
+		if dst.in == nil {
+			dst.in = make(map[ident.ID][]Message)
+		}
+		dst.in[sender] = newB
+	}
+	nw.markDirty(dstID)
+}
+
+// installBucketQuiet sets the sender's standing bucket at the
+// recipient without waking it: the asynchronous scheduler calls this
+// for run-stable contributions, whose content already reached the
+// recipient as one-shot messages when it last changed — the bucket is
+// just the repeating representation from then on.
+func (nw *Network) installBucketQuiet(dst *RealNode, sender ident.ID, msgs []Message) {
+	nw.bucketMsgs += len(msgs) - len(dst.in[sender])
+	if dst.in == nil {
+		dst.in = make(map[ident.ID][]Message)
+	}
+	dst.in[sender] = msgs
+}
+
+// dropBucket revokes the sender's standing bucket at the recipient,
+// reporting whether one existed. The asynchronous scheduler revokes a
+// bucket whenever the sender's contribution changes: the new version
+// travels as one-shot messages instead, because replaying transient
+// versions out of standing buckets re-perturbs settled regions.
+func (nw *Network) dropBucket(dst *RealNode, alive bool, sender ident.ID) bool {
+	if !alive || dst == nil {
+		return false
+	}
+	ms, ok := dst.in[sender]
+	if !ok {
+		return false
+	}
+	nw.bucketMsgs -= len(ms)
+	delete(dst.in, sender)
+	return true
 }
 
 // wakeDependents dirties every clean peer whose behavior can depend on

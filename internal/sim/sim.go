@@ -81,6 +81,27 @@ func DefaultMaxRounds(n int) int {
 	return r
 }
 
+// budgetHint is implemented by schedulers whose steps are worth less
+// than one synchronous round (the asynchronous runner: activation
+// probability and message delays stretch convergence by a constant
+// factor), so default budgets scale instead of spuriously expiring.
+type budgetHint interface {
+	StepBudgetScale() float64
+}
+
+// DefaultBudget returns the step budget for running the scheduler to
+// its fixed point: DefaultMaxRounds for the synchronous round engine,
+// scaled by the scheduler's own hint for event-driven executions.
+func DefaultBudget(s rechord.Scheduler) int {
+	b := DefaultMaxRounds(s.Network().NumPeers())
+	if h, ok := s.(budgetHint); ok {
+		if f := h.StepBudgetScale(); f > 1 {
+			b = int(float64(b) * f)
+		}
+	}
+	return b
+}
+
 // Measure computes the current metrics of the network.
 func Measure(nw *rechord.Network) RoundMetrics {
 	g := nw.Graph()
@@ -94,58 +115,63 @@ func Measure(nw *rechord.Network) RoundMetrics {
 	}
 }
 
-// Run executes rounds until the global state reaches a fixed point,
-// the round bound is hit, or the context is done. Cancellation is
-// observed between rounds: the network is always left at a round
-// barrier, consistent and steppable, so a canceled run can be resumed
-// by calling Run again.
+// Run executes scheduler steps until the global state reaches a fixed
+// point, the step bound is hit, or the context is done. The scheduler
+// decides what a step is: passing the network itself runs synchronous
+// rounds, passing a rechord.AsyncRunner runs the asynchronous
+// adversary — the measurement loop is identical. Cancellation is
+// observed between steps: the network is always left at a barrier,
+// consistent and steppable, so a canceled run can be resumed by
+// calling Run again with the same scheduler.
 //
 // Under the incremental engine (the default), the fixed point is
-// detected by quiescence: an empty frontier means no peer's inputs
-// changed since it last reached a local fixed point, which is exactly
-// global stability — an O(1) check. Under rechord.Config.FullSweep the
-// engine has no frontier, so Run falls back to the classic deep-copy
-// snapshot comparison.
-func Run(ctx context.Context, nw *rechord.Network, opt Options) Result {
+// detected by quiescence: an empty frontier and no in-flight delivery
+// means no peer's inputs changed since it last reached a local fixed
+// point, which is exactly global stability — an O(1) check. Under
+// rechord.Config.FullSweep the synchronous engine has no frontier, so
+// Run falls back to the classic deep-copy snapshot comparison.
+func Run(ctx context.Context, s rechord.Scheduler, opt Options) Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	maxRounds := opt.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = DefaultMaxRounds(nw.NumPeers())
+	nw := s.Network()
+	maxSteps := opt.MaxRounds
+	if maxSteps <= 0 {
+		maxSteps = DefaultBudget(s)
 	}
 	res := Result{AlmostStableRound: -1}
-	start := nw.Round() // rounds are counted relative to this run
+	start := s.Time() // steps are counted relative to this run
 	var prev *rechord.Snapshot
-	if !nw.Incremental() {
-		prev = nw.TakeSnapshot()
+	if snw, ok := s.(*rechord.Network); ok && !snw.Incremental() {
+		prev = snw.TakeSnapshot()
 	}
-	for r := 0; r < maxRounds; r++ {
+	for r := 0; r < maxSteps; r++ {
 		if ctx.Err() != nil {
 			res.Canceled = true
-			res.Rounds = nw.Round() - start
+			res.Rounds = s.Time() - start
 			res.Final = Measure(nw)
 			return res
 		}
 		if opt.TrackSeries {
 			m := Measure(nw)
+			m.Round = s.Time()
 			res.Series = append(res.Series, m)
 		}
-		stats := nw.Step()
+		stats := s.Step()
 		res.TotalMessages += stats.MessagesSent
 		if opt.TrackSeries {
 			res.Series[len(res.Series)-1].Messages = stats.MessagesSent
 		}
 		if res.AlmostStableRound < 0 && opt.Ideal != nil && opt.Ideal.AlmostStable(nw) {
-			res.AlmostStableRound = nw.Round() - start
+			res.AlmostStableRound = s.Time() - start
 		}
-		if nw.Incremental() {
-			if nw.Quiescent() {
+		if prev == nil {
+			if s.Quiescent() {
 				res.Stable = true
 				// Rounds counts up to the last state change, matching
 				// the snapshot path's "round after which the state
 				// stopped changing".
-				res.Rounds = nw.LastChangeRound() - start
+				res.Rounds = s.LastChange() - start
 				if res.Rounds < 0 {
 					res.Rounds = 0
 				}
@@ -154,17 +180,18 @@ func Run(ctx context.Context, nw *rechord.Network, opt Options) Result {
 			}
 			continue
 		}
-		cur := nw.TakeSnapshot()
+		snw := s.(*rechord.Network)
+		cur := snw.TakeSnapshot()
 		if cur.Equal(prev) {
 			res.Stable = true
 			// The state was already fixed before this (unchanged) round.
-			res.Rounds = nw.Round() - 1 - start
+			res.Rounds = s.Time() - 1 - start
 			res.Final = Measure(nw)
 			return res
 		}
 		prev = cur
 	}
-	res.Rounds = nw.Round() - start
+	res.Rounds = s.Time() - start
 	res.Final = Measure(nw)
 	return res
 }
@@ -172,14 +199,14 @@ func Run(ctx context.Context, nw *rechord.Network, opt Options) Result {
 // RunToStable is Run with a hard failure when the network does not
 // stabilize, for tests and experiments that require convergence. A
 // canceled run returns the context's error.
-func RunToStable(ctx context.Context, nw *rechord.Network, opt Options) (Result, error) {
-	res := Run(ctx, nw, opt)
+func RunToStable(ctx context.Context, s rechord.Scheduler, opt Options) (Result, error) {
+	res := Run(ctx, s, opt)
 	if res.Canceled {
 		return res, ctx.Err()
 	}
 	if !res.Stable {
-		return res, fmt.Errorf("sim: network of %d peers did not stabilize within %d rounds",
-			nw.NumPeers(), nw.Round())
+		return res, fmt.Errorf("sim: network of %d peers did not stabilize within %d steps",
+			s.Network().NumPeers(), s.Time())
 	}
 	return res, nil
 }

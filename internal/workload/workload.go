@@ -245,6 +245,7 @@ type workerResult struct {
 }
 
 type engine struct {
+	sched rechord.Scheduler
 	nw    *rechord.Network
 	cfg   Config
 	store *dht.Store
@@ -259,18 +260,22 @@ type engine struct {
 	deadline  time.Time
 }
 
-// Run drives the workload against the network and returns the merged
-// telemetry. The network must currently be stable; it is returned
-// re-stabilized (the churn driver runs every event to quiescence
-// before the run ends).
+// Run drives the workload against the scheduler's network and returns
+// the merged telemetry. Passing the network itself serves traffic
+// under the synchronous round engine; passing a rechord.AsyncRunner
+// serves the same traffic while re-stabilization proceeds under the
+// asynchronous adversary — lookups then race genuinely stale state
+// mid-repair, delayed messages and all. The network must currently be
+// stable; it is returned re-stabilized (the churn driver runs every
+// event to quiescence before the run ends).
 //
 // Cancellation is honored end to end: workers stop before their next
 // operation, and the churn driver stops both its event waiting and its
 // re-stabilization stepping. A canceled Run returns the telemetry
 // gathered so far together with ctx.Err(); the network is left at a
-// round barrier, consistent and steppable (possibly mid-repair — run
-// sim.Run to finish the re-stabilization).
-func Run(ctx context.Context, nw *rechord.Network, cfg Config) (*Result, error) {
+// step barrier, consistent and steppable (possibly mid-repair — run
+// sim.Run on the same scheduler to finish the re-stabilization).
+func Run(ctx context.Context, sched rechord.Scheduler, cfg Config) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -281,7 +286,8 @@ func Run(ctx context.Context, nw *rechord.Network, cfg Config) (*Result, error) 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	e := &engine{nw: nw, cfg: cfg}
+	nw := sched.Network()
+	e := &engine{sched: sched, nw: nw, cfg: cfg}
 
 	var resolver dht.Resolver
 	if cfg.NoCache {
@@ -465,10 +471,12 @@ func (e *engine) aliveHome(homes []ident.ID, hi int) ident.ID {
 }
 
 // churnDriver applies the pre-generated events, spaced by completed
-// ops, and steps the network back to quiescence in small chunks so
-// client lookups interleave with mid-repair state. After each event it
-// rebalances the store onto the new membership and prunes dead cache
-// entries. Returns how many events were applied.
+// ops, and steps whichever scheduler is active back to quiescence in
+// small chunks so client lookups interleave with mid-repair state
+// (under the asynchronous scheduler, with mid-flight delayed messages
+// too). After each event it rebalances the store onto the new
+// membership and prunes dead cache entries. Returns how many events
+// were applied.
 //
 // Cancellation stops the driver at every stage: while waiting for the
 // next event's op target, between re-stabilization chunks, and before
@@ -512,16 +520,16 @@ func (e *engine) churnDriver(ctx context.Context, events []churn.Event, done <-c
 			e.cfg.Churn.OnApply(ev)
 		}
 
-		maxRounds := sim.DefaultMaxRounds(e.nw.NumPeers())
+		maxRounds := sim.DefaultBudget(e.sched)
 		stepped := 0
 		canceled := false
 		for {
 			e.netMu.Lock()
-			quiescent := e.nw.Quiescent()
+			quiescent := e.sched.Quiescent()
 			for c := 0; c < e.cfg.Churn.StepChunk && !quiescent; c++ {
-				e.nw.Step()
+				e.sched.Step()
 				stepped++
-				quiescent = e.nw.Quiescent()
+				quiescent = e.sched.Quiescent()
 			}
 			e.netMu.Unlock()
 			if quiescent || stepped > maxRounds {
