@@ -14,7 +14,7 @@ ROUND_BENCH := BenchmarkStepSteadyState|BenchmarkRound$$|BenchmarkSnapshot|Bench
 # uncached table routing and the end-to-end workload engine.
 LOOKUP_BENCH := BenchmarkTableLookup|BenchmarkWorkload
 
-.PHONY: all test test-short lint vet fmt bench bench-json bench-lookups bench-async cover examples clean
+.PHONY: all test test-short lint vet fmt bench bench-json bench-lookups bench-async bench-mem cover examples clean
 
 all: lint test
 
@@ -78,6 +78,14 @@ bench-async:
 	  $(GO) test -run '^$$' -bench 'BenchmarkAsyncConvergence|BenchmarkAsyncChurnRecovery' -benchmem -benchtime=3x . ; } \
 	  | $(GO) run ./cmd/benchjson > BENCH_async.json
 	@echo wrote BENCH_async.json
+
+# bench-mem records the compact-handle core's memory footprint in
+# BENCH_mem.json: resident bytes per peer of a settled network,
+# standing flows included. The settle run is the cost, so one
+# iteration per size is the stable measurement.
+bench-mem:
+	$(GO) test -run '^$$' -bench 'BenchmarkMemoryPerPeer' -benchtime=1x . | $(GO) run ./cmd/benchjson > BENCH_mem.json
+	@echo wrote BENCH_mem.json
 
 clean:
 	$(GO) clean -testcache

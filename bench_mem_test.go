@@ -1,0 +1,51 @@
+// Memory-footprint benchmark for the compact-handle core, tracked in
+// BENCH_mem.json (make bench-mem): resident bytes per peer of a
+// settled network, standing message flows included. The interner's
+// slice-addressed layout (dense node/level/view tables, level-indexed
+// vnode slices, handle-keyed buckets) replaced the id- and ref-keyed
+// hash maps of the original engine; this benchmark is the regression
+// guard that keeps the per-peer footprint from creeping back up, and
+// the number that decides how large an n fits in one test budget.
+package repro
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/rechord"
+	"repro/internal/sim"
+	"repro/internal/topogen"
+)
+
+func heapAlloc() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// BenchmarkMemoryPerPeer reports bytes/peer of a quiescent network at
+// each size. ns/op is dominated by the settle run and is not the
+// tracked number; bytes/peer is.
+func BenchmarkMemoryPerPeer(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var perPeer float64
+			for i := 0; i < b.N; i++ {
+				base := heapAlloc()
+				rng := rand.New(rand.NewSource(int64(n)))
+				ids := topogen.RandomIDs(n, rng)
+				nw := topogen.PreStabilized().Build(ids, rng, rechord.Config{})
+				if _, err := sim.RunToStable(context.Background(), nw, sim.Options{SkipFinalMetrics: true}); err != nil {
+					b.Fatal(err)
+				}
+				perPeer = float64(heapAlloc()-base) / float64(n)
+				runtime.KeepAlive(nw)
+			}
+			b.ReportMetric(perPeer, "bytes/peer")
+		})
+	}
+}

@@ -88,7 +88,10 @@ func (s *Store) shardOf(owner ident.ID) *shard {
 }
 
 func (s *Store) checkHome(home ident.ID) error {
-	if s.nw.Peer(home) == nil {
+	// Membership via the interner slot: one uint64-keyed lookup, no
+	// node state touched. Every operation pays this check, so it rides
+	// the same compact-handle path the resolver's table cache uses.
+	if _, _, ok := s.nw.PeerSlot(home); !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownPeer, home)
 	}
 	return nil

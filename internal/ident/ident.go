@@ -33,7 +33,15 @@ func FromFloat(x float64) ID {
 	x = x - math.Floor(x)
 	// 2^64 is not representable in float64 exactly as a product bound,
 	// so scale via 2^32 twice to keep precision for small x.
-	return ID(x * (1 << 32) * (1 << 32))
+	f := x * (1 << 32) * (1 << 32)
+	// For x just below 1 the first multiplication can round UP (e.g.
+	// math.Nextafter(1, 0)*2^32 ties to exactly 2^32), making the
+	// product exactly 2^64 — whose uint64 conversion is
+	// implementation-defined. Clamp to the top of the grid instead.
+	if f >= 1<<64 {
+		return ^ID(0)
+	}
+	return ID(f)
 }
 
 // Float returns the real number the ID stands for, in [0,1).

@@ -17,6 +17,31 @@ func TestFromFloatRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFromFloatTopOfInterval: inputs whose scaled product lands on
+// exactly 2^64 — the mod-1 reduction of a tiny negative x rounds to
+// exactly 1.0 — would hit an implementation-defined float-to-uint64
+// conversion; they must clamp to the top of the fixed-point grid. The
+// largest float64 below 1 must stay below the clamp and monotone.
+func TestFromFloatTopOfInterval(t *testing.T) {
+	// -1e-20 reduces to 1 - 1e-20, which rounds to exactly 1.0: the
+	// product is exactly 2^64 and must clamp, not wrap to 0 (or
+	// saturate only on some architectures).
+	if got := FromFloat(-1e-20); got != ^ID(0) {
+		t.Errorf("FromFloat(-1e-20) = %v (%#x), want clamp to ^ID(0)", got, uint64(got))
+	}
+	top := math.Nextafter(1, 0) // 1 - 2^-53: representable product 2^64 - 2^11
+	if got, want := FromFloat(top), ID(^uint64(0)-(1<<11)+1); got != want {
+		t.Errorf("FromFloat(Nextafter(1,0)) = %#x, want %#x", uint64(got), uint64(want))
+	}
+	// Monotonicity near the top: smaller inputs never map above.
+	if prev := FromFloat(math.Nextafter(top, 0)); prev > FromFloat(top) {
+		t.Errorf("FromFloat not monotone at the top: %#x > %#x", uint64(prev), uint64(FromFloat(top)))
+	}
+	if FromFloat(top) > FromFloat(-1e-20) {
+		t.Error("clamped top is not the maximum of the grid")
+	}
+}
+
 func TestFromFloatReducesModOne(t *testing.T) {
 	if FromFloat(1.25) != FromFloat(0.25) {
 		t.Errorf("FromFloat(1.25) = %v, want FromFloat(0.25) = %v", FromFloat(1.25), FromFloat(0.25))

@@ -66,14 +66,20 @@ type AsyncRunner struct {
 	step       int // asynchronous steps executed; independent of nw.round
 	lastChange int // most recent step whose execution changed the state
 
-	events     eventQueue
-	seq        uint64                 // deterministic heap tiebreak
-	scheduled  map[ident.ID]bool      // peers holding a pending activation event
+	events eventQueue
+	seq    uint64 // deterministic heap tiebreak
+
+	// sched marks peers holding a pending activation event, as a
+	// slot-indexed generation stamp (gen+1; 0 = none): a slot released
+	// and re-tenanted invalidates the stamp by construction, without
+	// the runner having to observe the departure.
+	sched []uint32
+
 	deliveries int                    // pending delivery events
 	inflight   int                    // messages inside pending delivery events
 	fIdx       int                    // prefix of nw.frontier already drained
-	active     []ident.ID             // batch scratch
-	pend       []ident.ID             // drain scratch
+	active     []uint32               // batch scratch (slots)
+	pend       []uint32               // drain scratch (slots)
 	newBy      map[ident.ID][]Message // routing scratch
 	oldBy      map[ident.ID][]Message // routing scratch
 	touched    []ident.ID             // routing scratch
@@ -101,13 +107,18 @@ const (
 
 // asyncEvent is one entry of the scheduler's priority queue: either
 // "peer activates at step `at`" or "these one-shot messages reach the
-// recipient at step `at`".
+// recipient at step `at`". The target peer is addressed by its handle
+// (slot + generation) for the O(1) common case, with the identifier
+// kept alongside: a peer that departed and re-joined under the same
+// identifier before the event fired still receives it, exactly like
+// the id-keyed queue did.
 type asyncEvent struct {
-	at   int
-	seq  uint64
-	kind int
-	peer ident.ID // activation: who runs; delivery: the recipient
-	msgs []Message
+	at         int
+	seq        uint64
+	kind       int
+	peer       ident.ID // activation: who runs; delivery: the recipient
+	hidx, hgen uint32   // the target incarnation's handle
+	msgs       []Message
 }
 
 // eventQueue is a min-heap ordered by (at, seq): virtual time first,
@@ -174,11 +185,42 @@ func NewAsyncRunner(nw *Network, cfg AsyncConfig, rng *rand.Rand) *AsyncRunner {
 			}
 		}
 	}
-	return &AsyncRunner{
-		nw:        nw,
-		cfg:       cfg,
-		rng:       rng,
-		scheduled: make(map[ident.ID]bool),
+	return &AsyncRunner{nw: nw, cfg: cfg, rng: rng}
+}
+
+// eventTarget resolves an event's target peer: the handle while the
+// incarnation is alive, falling back to the identifier for a peer that
+// re-joined under the same id (today's tenant of the name receives
+// what was addressed to it, as under the id-keyed queue).
+func (a *AsyncRunner) eventTarget(ev *asyncEvent) (*RealNode, uint32, bool) {
+	pt := &a.nw.pt
+	if int(ev.hidx) < len(pt.nodes) && pt.gens[ev.hidx] == ev.hgen {
+		if n := pt.nodes[ev.hidx]; n != nil {
+			return n, ev.hidx, true
+		}
+	}
+	if slot, ok := pt.lookup(ev.peer); ok {
+		return pt.nodes[slot], slot, true
+	}
+	return nil, 0, false
+}
+
+// isScheduled/setScheduled/clearScheduled manage the slot-indexed
+// activation stamps (see the sched field).
+func (a *AsyncRunner) isScheduled(n *RealNode) bool {
+	return int(n.idx) < len(a.sched) && a.sched[n.idx] == n.gen+1
+}
+
+func (a *AsyncRunner) setScheduled(n *RealNode) {
+	for int(n.idx) >= len(a.sched) {
+		a.sched = append(a.sched, 0)
+	}
+	a.sched[n.idx] = n.gen + 1
+}
+
+func (a *AsyncRunner) clearScheduled(n *RealNode) {
+	if int(n.idx) < len(a.sched) && a.sched[n.idx] == n.gen+1 {
+		a.sched[n.idx] = 0
 	}
 }
 
@@ -259,35 +301,36 @@ func (a *AsyncRunner) activationWait() int {
 // the step of the peer's first coin flip; when immediate is non-nil a
 // zero wait activates the peer in the current batch (its flip at
 // `start` came up heads), otherwise the event goes through the queue.
-func (a *AsyncRunner) drainFrontier(start int, immediate *[]ident.ID) {
+func (a *AsyncRunner) drainFrontier(start int, immediate *[]uint32) {
 	nw := a.nw
 	fr := nw.frontier
 	if a.fIdx < len(fr) {
-		// The frontier is appended to in map-iteration order by
-		// wakeDependents; sort the new entries so the rng draw sequence
-		// (and hence the whole schedule) is seed-deterministic.
+		// The frontier is appended to in peer-scan order by
+		// wakeDependents; sort the new entries by identifier so the rng
+		// draw sequence (and hence the whole schedule) is
+		// seed-deterministic.
 		pend := a.pend[:0]
-		for _, id := range fr[a.fIdx:] {
-			if n, ok := nw.nodes[id]; ok && n.dirty && !a.scheduled[id] {
-				pend = append(pend, id)
+		for _, slot := range fr[a.fIdx:] {
+			if n := nw.pt.nodes[slot]; n != nil && n.dirty && !a.isScheduled(n) {
+				pend = append(pend, slot)
 			}
 		}
 		a.fIdx = len(fr)
-		ident.Sort(pend)
-		for _, id := range pend {
-			n, ok := nw.nodes[id]
-			if !ok || !n.dirty || a.scheduled[id] {
+		nw.sortSlotsByID(pend)
+		for _, slot := range pend {
+			n := nw.pt.nodes[slot]
+			if n == nil || !n.dirty || a.isScheduled(n) {
 				continue
 			}
 			at := start + a.activationWait()
 			if immediate != nil && at <= start {
 				n.dirty = false
-				*immediate = append(*immediate, id)
+				*immediate = append(*immediate, slot)
 				continue
 			}
-			a.scheduled[id] = true
+			a.setScheduled(n)
 			a.seq++
-			heap.Push(&a.events, &asyncEvent{at: at, seq: a.seq, kind: evActivation, peer: id})
+			heap.Push(&a.events, &asyncEvent{at: at, seq: a.seq, kind: evActivation, peer: n.id, hidx: n.idx, hgen: n.gen})
 		}
 		a.pend = pend
 	}
@@ -296,9 +339,9 @@ func (a *AsyncRunner) drainFrontier(start int, immediate *[]ident.ID) {
 	// engine truncates it every round; the runner owns it instead).
 	if len(fr) > 4*nw.NumPeers()+64 {
 		kept := fr[:0]
-		for _, id := range fr {
-			if n, ok := nw.nodes[id]; ok && n.dirty {
-				kept = append(kept, id)
+		for _, slot := range fr {
+			if n := nw.pt.nodes[slot]; n != nil && n.dirty {
+				kept = append(kept, slot)
 			}
 		}
 		nw.frontier = kept
@@ -359,27 +402,32 @@ func (a *AsyncRunner) route(n *RealNode, out []Message, outChanged, stateChanged
 		}
 	}
 	ident.Sort(touched)
+	h := n.h()
 	for _, dstID := range touched {
 		newC := newBy[dstID]
 		changed := outChanged && !sameMessages(oldBy[dstID], newC)
-		dst, alive := nw.nodes[dstID]
+		dstSlot, alive := nw.pt.lookup(dstID)
+		var dst *RealNode
+		if alive {
+			dst = nw.pt.nodes[dstSlot]
+		}
 		switch {
 		case !changed:
 			// Run-stable contribution: ensure the standing bucket holds
 			// it, without waking the recipient.
-			if alive && len(newC) > 0 && !sameMessages(dst.in[n.id], newC) {
-				nw.installBucketQuiet(dst, n.id, newC)
+			if alive && len(newC) > 0 && !sameMessages(dst.in[h], newC) {
+				nw.installBucketQuiet(dst, h, newC)
 			}
 		case !stateChanged:
 			// Relay flow: synchronous bucket rewrite, waking the
 			// recipient when its standing input changed.
-			nw.rerouteOne(n.id, dstID, newC)
+			nw.rerouteOne(h, dstID, newC)
 		case len(newC) == 0:
-			if nw.dropBucket(dst, alive, n.id) {
-				nw.markDirty(dstID)
+			if nw.dropBucket(dst, alive, h) {
+				nw.markDirtyIdx(dstSlot)
 			}
 		default:
-			nw.dropBucket(dst, alive, n.id)
+			nw.dropBucket(dst, alive, h)
 			if !alive {
 				continue
 			}
@@ -388,13 +436,13 @@ func (a *AsyncRunner) route(n *RealNode, out []Message, outChanged, stateChanged
 				// Synchronous timing: lands now, consumed next step.
 				a.mixEvent(evDelivery, a.step, dstID)
 				dst.inbox = append(dst.inbox, newC...)
-				nw.markDirty(dstID)
+				nw.markDirtyIdx(dstSlot)
 				continue
 			}
 			a.seq++
 			a.deliveries++
 			a.inflight += len(newC)
-			heap.Push(&a.events, &asyncEvent{at: a.step + d, seq: a.seq, kind: evDelivery, peer: dstID, msgs: newC})
+			heap.Push(&a.events, &asyncEvent{at: a.step + d, seq: a.seq, kind: evDelivery, peer: dstID, hidx: dst.idx, hgen: dst.gen, msgs: newC})
 		}
 	}
 	for _, dstID := range touched {
@@ -425,17 +473,20 @@ func (a *AsyncRunner) Step() RoundStats {
 		case evDelivery:
 			a.deliveries--
 			a.inflight -= len(ev.msgs)
-			if dst, ok := nw.nodes[ev.peer]; ok {
+			if dst, slot, ok := a.eventTarget(ev); ok {
 				a.mixEvent(evDelivery, ev.at, ev.peer)
 				dst.inbox = append(dst.inbox, ev.msgs...)
-				nw.markDirty(ev.peer)
+				nw.markDirtyIdx(slot)
 				changed = true
 			}
 		case evActivation:
-			delete(a.scheduled, ev.peer)
-			if n, ok := nw.nodes[ev.peer]; ok && n.dirty {
-				n.dirty = false
-				active = append(active, ev.peer)
+			n, slot, ok := a.eventTarget(ev)
+			if ok {
+				a.clearScheduled(n)
+				if n.dirty {
+					n.dirty = false
+					active = append(active, slot)
+				}
 			}
 		}
 	}
@@ -446,9 +497,22 @@ func (a *AsyncRunner) Step() RoundStats {
 	a.drainFrontier(now, &active)
 
 	if len(active) > 0 {
-		ident.Sort(active)
-		for _, id := range active {
-			a.mixEvent(evActivation, now, id)
+		nw.sortSlotsByID(active)
+		// Dedup: a peer whose activation event fired can re-enter via
+		// the immediate path when a same-step delivery re-dirtied it
+		// after its dirty flag was already cleared — the flag-based
+		// dedup cannot catch that, and a duplicate slot would run the
+		// same node concurrently in the batch. One activation per peer
+		// per step; the delivered messages are consumed by that run.
+		uniq := active[:1]
+		for _, slot := range active[1:] {
+			if slot != uniq[len(uniq)-1] {
+				uniq = append(uniq, slot)
+			}
+		}
+		active = uniq
+		for _, slot := range active {
+			a.mixEvent(evActivation, now, nw.pt.ids[slot])
 		}
 		stats.Activated = len(active)
 		if nw.runBatch(active, true, a.route, &stats) {
@@ -501,7 +565,10 @@ func (a *AsyncRunner) PendingByKind() map[graph.Kind]int {
 			out[msg.Kind]++
 		}
 	}
-	for _, node := range a.nw.nodes {
+	for _, node := range a.nw.pt.nodes {
+		if node == nil {
+			continue
+		}
 		for _, msg := range node.inbox {
 			out[msg.Kind]++
 		}

@@ -24,10 +24,14 @@ import (
 // flow forever, since only the sender's own runs can replace it.
 func asyncBucketInvariant(t *testing.T, nw *Network) {
 	t.Helper()
-	for dstID, dst := range nw.nodes {
+	for _, dst := range nw.pt.nodes {
+		if dst == nil {
+			continue
+		}
 		for sender := range dst.in {
-			if _, ok := nw.nodes[sender]; !ok {
-				t.Fatalf("peer %s holds a standing bucket from departed sender %s", dstID, sender)
+			if nw.pt.byHandle(sender) == nil {
+				t.Fatalf("peer %s holds a standing bucket from a departed sender incarnation (slot %d gen %d)",
+					dst.id, sender.slot(), sender.gen())
 			}
 		}
 	}
@@ -118,26 +122,27 @@ func TestAsyncRemovePeerFinalOutput(t *testing.T) {
 	// At the fixed point every peer holds standing buckets. Pick a
 	// recipient of the victim's flow before failing it.
 	victim := ids[3]
+	vicH := nw.node(victim).h()
 	var recipient ident.ID
 	found := false
-	for dstID, dst := range nw.nodes {
+	for _, dst := range nw.pt.nodes {
 		// A peer can hold a standing bucket from itself (messages to its
 		// own virtual nodes); the victim is no recipient of its own
 		// final output.
-		if dstID != victim && len(dst.in[victim]) > 0 {
-			recipient, found = dstID, true
+		if dst != nil && dst.id != victim && len(dst.in[vicH]) > 0 {
+			recipient, found = dst.id, true
 			break
 		}
 	}
 	if !found {
 		t.Fatalf("victim %s has no standing flow at the fixed point", victim)
 	}
-	want := len(nw.nodes[recipient].in[victim])
+	want := len(nw.node(recipient).in[vicH])
 	if err := nw.Fail(victim); err != nil {
 		t.Fatal(err)
 	}
-	dst := nw.nodes[recipient]
-	if len(dst.in[victim]) != 0 {
+	dst := nw.node(recipient)
+	if len(dst.in[vicH]) != 0 {
 		t.Fatal("departed sender's bucket not removed")
 	}
 	if len(dst.inbox) < want {

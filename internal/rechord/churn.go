@@ -14,10 +14,10 @@ import (
 // state (Theorem 4.1). The joiner enters the frontier dirty; existing
 // peers wake up as its messages reach them.
 func (nw *Network) Join(id ident.ID, contact ident.ID) error {
-	if _, ok := nw.nodes[id]; ok {
+	if _, ok := nw.pt.lookup(id); ok {
 		return fmt.Errorf("rechord: join: peer %s already present", id)
 	}
-	if _, ok := nw.nodes[contact]; !ok {
+	if _, ok := nw.pt.lookup(contact); !ok {
 		return fmt.Errorf("rechord: join: contact %s not in network", contact)
 	}
 	nw.AddPeer(id)
@@ -31,11 +31,14 @@ func (nw *Network) Join(id ident.ID, contact ident.ID) error {
 // the closest-real knowledge is handed over too. The introductions are
 // delivered as ordinary next-round messages.
 func (nw *Network) Leave(id ident.ID) error {
-	n, ok := nw.nodes[id]
-	if !ok {
+	n := nw.pt.node(id)
+	if n == nil {
 		return fmt.Errorf("rechord: leave: peer %s not in network", id)
 	}
 	for _, v := range n.vnodes {
+		if v == nil {
+			continue
+		}
 		// Everything this virtual node can introduce: its unmarked
 		// neighbors plus closest reals, excluding its own siblings
 		// (they depart too).
@@ -77,7 +80,7 @@ func (nw *Network) Leave(id ident.ID) error {
 // Fail removes a peer abruptly: no goodbyes, its edges dangle until
 // the failure detector purges them (Section 4.2's fault case).
 func (nw *Network) Fail(id ident.ID) error {
-	if _, ok := nw.nodes[id]; !ok {
+	if _, ok := nw.pt.lookup(id); !ok {
 		return fmt.Errorf("rechord: fail: peer %s not in network", id)
 	}
 	nw.removePeer(id)
@@ -85,34 +88,35 @@ func (nw *Network) Fail(id ident.ID) error {
 }
 
 // removePeer deletes the peer and reconciles the scheduler state: the
-// peer's published view entries vanish, its standing output is
-// delivered exactly once more (as one-shots, matching the full-sweep
-// timeline where messages sent in the final round still arrive), and
-// every peer that references the departed identifier is woken so its
-// next purge drops the stale references.
+// peer's slot is released (bumping its generation, so every handle to
+// this incarnation stops resolving), its published view entries
+// vanish, its standing output is delivered exactly once more (as
+// one-shots, matching the full-sweep timeline where messages sent in
+// the final round still arrive), and every peer that references the
+// departed identifier is woken so its next purge drops the stale
+// references.
 func (nw *Network) removePeer(id ident.ID) {
-	n := nw.nodes[id]
-	delete(nw.nodes, id)
+	n := nw.pt.node(id)
+	h := n.h() // the incarnation's handle, before the generation bump
+	nw.view[n.idx] = nil
+	nw.pt.release(n)
 	nw.removeOrder(id)
-	delete(nw.levelOf, id)
-	for _, v := range n.vnodes {
-		delete(nw.view, v.Self)
-	}
 	// The buckets stored on the departed peer die with it.
 	for _, ms := range n.in {
 		nw.bucketMsgs -= len(ms)
 	}
 	// Its standing flow to others becomes a final one-shot delivery.
 	for _, m := range n.lastOut {
-		dst, ok := nw.nodes[m.To.Owner]
+		dstSlot, ok := nw.pt.lookup(m.To.Owner)
 		if !ok {
 			continue
 		}
-		if ms, ok := dst.in[id]; ok {
+		dst := nw.pt.nodes[dstSlot]
+		if ms, ok := dst.in[h]; ok {
 			dst.inbox = append(dst.inbox, ms...)
 			nw.bucketMsgs -= len(ms)
-			delete(dst.in, id)
-			nw.markDirty(m.To.Owner)
+			delete(dst.in, h)
+			nw.markDirtyIdx(dstSlot)
 		}
 	}
 	nw.wakeDependents(map[ident.ID]bool{id: true}, nil)
@@ -122,8 +126,8 @@ func (nw *Network) removePeer(id ident.ID) {
 // leave, whose goodbyes are delivered like any other delayed
 // assignment) and wakes the recipient.
 func (nw *Network) routeMessage(msg Message) {
-	if dst, ok := nw.nodes[msg.To.Owner]; ok {
-		dst.inbox = append(dst.inbox, msg)
-		nw.markDirty(msg.To.Owner)
+	if slot, ok := nw.pt.lookup(msg.To.Owner); ok {
+		nw.pt.nodes[slot].inbox = append(nw.pt.nodes[slot].inbox, msg)
+		nw.markDirtyIdx(slot)
 	}
 }

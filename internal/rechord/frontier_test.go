@@ -105,7 +105,7 @@ func TestFrontierRedirtyOnLateMessage(t *testing.T) {
 	if nw.Quiescent() {
 		t.Fatal("late inbox message did not re-dirty the recipient")
 	}
-	if !nw.nodes[target].dirty {
+	if !nw.node(target).dirty {
 		t.Fatal("recipient of one-shot message not on the frontier")
 	}
 	for r := 0; r < 4000 && !nw.Quiescent(); r++ {
@@ -128,7 +128,7 @@ func TestFrontierDirtyOnJoin(t *testing.T) {
 	if nw.Quiescent() {
 		t.Fatal("join did not dirty the frontier")
 	}
-	if !nw.nodes[joiner].dirty {
+	if !nw.node(joiner).dirty {
 		t.Fatal("joiner not on the frontier")
 	}
 	for r := 0; r < 4000 && !nw.Quiescent(); r++ {
@@ -155,8 +155,8 @@ func TestFrontierDirtyOnLeaveAndFail(t *testing.T) {
 			t.Fatalf("%s did not dirty any peer", name)
 		}
 		woke := 0
-		for _, n := range nw.nodes {
-			if n.dirty {
+		for _, n := range nw.pt.nodes {
+			if n != nil && n.dirty {
 				woke++
 			}
 		}
@@ -178,7 +178,10 @@ func TestFrontierBucketAccounting(t *testing.T) {
 	nw, ids := stableNet(t, 10, 31)
 	count := func() int {
 		c := 0
-		for _, n := range nw.nodes {
+		for _, n := range nw.pt.nodes {
+			if n == nil {
+				continue
+			}
 			for _, ms := range n.in {
 				c += len(ms)
 			}

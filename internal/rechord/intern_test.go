@@ -1,0 +1,165 @@
+package rechord
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ident"
+	"repro/internal/ref"
+)
+
+// Property test for the peer interner's generation semantics: under
+// any sequence of Join/Leave/Fail/rejoin-same-id (interleaved with
+// enough rounds to keep the schedule realistic), a handle taken for a
+// departed incarnation must never resolve again — not even when its
+// identifier re-joins, and not when its slot is re-tenanted by a
+// different peer — and the slot space must stay exactly partitioned
+// into live slots and free-list slots (no leak, no double-free).
+func TestInternerGenerationProperty(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nw := NewNetwork(Config{Workers: 1})
+
+		// Seed population, weakly connected.
+		var ids []ident.ID
+		for len(ids) < 12 {
+			id := ident.ID(rng.Uint64() | 1)
+			if nw.node(id) == nil {
+				nw.AddPeer(id)
+				ids = append(ids, id)
+			}
+		}
+		for i := 1; i < len(ids); i++ {
+			nw.SeedEdge(ref.Real(ids[i-1]), ref.Real(ids[i]), graph.Unmarked)
+		}
+
+		// stale holds handles of departed incarnations; they must stay
+		// dead forever.
+		stale := make(map[handle]ident.ID)
+		live := make(map[ident.ID]handle)
+		for _, id := range ids {
+			live[id] = nw.node(id).h()
+		}
+		depart := func(id ident.ID) {
+			stale[live[id]] = id
+			delete(live, id)
+		}
+
+		for op := 0; op < 300; op++ {
+			switch k := rng.Intn(10); {
+			case k < 3 && len(live) > 2: // fail
+				id := ids[rng.Intn(len(ids))]
+				if _, ok := live[id]; ok {
+					if err := nw.Fail(id); err != nil {
+						t.Fatal(err)
+					}
+					depart(id)
+				}
+			case k < 5 && len(live) > 2: // leave
+				id := ids[rng.Intn(len(ids))]
+				if _, ok := live[id]; ok {
+					if err := nw.Leave(id); err != nil {
+						t.Fatal(err)
+					}
+					depart(id)
+				}
+			case k < 8: // rejoin a departed id, or join a fresh one
+				var id ident.ID
+				if rng.Intn(2) == 0 {
+					for _, cand := range ids {
+						if _, ok := live[cand]; !ok {
+							id = cand
+							break
+						}
+					}
+				}
+				if id == 0 {
+					id = ident.ID(rng.Uint64() | 1)
+					if nw.node(id) != nil {
+						continue
+					}
+					ids = append(ids, id)
+				}
+				var contact ident.ID
+				for c := range live {
+					contact = c
+					break
+				}
+				if err := nw.Join(id, contact); err != nil {
+					t.Fatal(err)
+				}
+				h := nw.node(id).h()
+				if _, wasStale := stale[h]; wasStale {
+					t.Fatalf("seed=%d op=%d: rejoin of %s resurrected a stale handle (slot %d gen %d)",
+						seed, op, id, h.slot(), h.gen())
+				}
+				live[id] = h
+			default:
+				nw.Step()
+			}
+
+			// Invariant 1: live handles resolve to their peers, stale
+			// handles resolve to nothing.
+			for id, h := range live {
+				n := nw.pt.byHandle(h)
+				if n == nil || n.id != id {
+					t.Fatalf("seed=%d op=%d: live handle of %s does not resolve to it", seed, op, id)
+				}
+			}
+			for h, id := range stale {
+				if n := nw.pt.byHandle(h); n != nil {
+					t.Fatalf("seed=%d op=%d: stale handle of departed %s resolves to %s (slot %d gen %d)",
+						seed, op, id, n.id, h.slot(), h.gen())
+				}
+			}
+
+			// Invariant 2: the slot space partitions into live slots and
+			// free-list slots — every slot accounted for exactly once.
+			onFree := make(map[uint32]bool, len(nw.pt.free))
+			for _, s := range nw.pt.free {
+				if onFree[s] {
+					t.Fatalf("seed=%d op=%d: slot %d double-freed", seed, op, s)
+				}
+				onFree[s] = true
+			}
+			liveSlots := 0
+			for s, n := range nw.pt.nodes {
+				switch {
+				case n == nil && !onFree[uint32(s)]:
+					t.Fatalf("seed=%d op=%d: empty slot %d leaked off the free-list", seed, op, s)
+				case n != nil && onFree[uint32(s)]:
+					t.Fatalf("seed=%d op=%d: live slot %d is on the free-list", seed, op, s)
+				case n != nil:
+					liveSlots++
+					if got, ok := nw.pt.lookup(n.id); !ok || got != uint32(s) {
+						t.Fatalf("seed=%d op=%d: idxOf out of sync for %s", seed, op, n.id)
+					}
+				}
+			}
+			if liveSlots != nw.pt.live || liveSlots != len(live) || len(nw.pt.free) != nw.pt.span()-liveSlots {
+				t.Fatalf("seed=%d op=%d: slot accounting off: live=%d pt.live=%d free=%d span=%d",
+					seed, op, liveSlots, nw.pt.live, len(nw.pt.free), nw.pt.span())
+			}
+		}
+
+		// The network must still be steppable to quiescence afterwards.
+		for r := 0; r < 20000 && !nw.Quiescent(); r++ {
+			nw.Step()
+		}
+		if !nw.Quiescent() {
+			t.Fatalf("seed=%d: network did not quiesce after churn sequence", seed)
+		}
+	}
+}
+
+// TestHandlePacking pins the handle bit layout.
+func TestHandlePacking(t *testing.T) {
+	h := mkHandle(7, 42)
+	if h.slot() != 7 || h.gen() != 42 {
+		t.Fatalf("mkHandle(7,42) unpacked to (%d,%d)", h.slot(), h.gen())
+	}
+	if mkHandle(7, 43) == h || mkHandle(8, 42) == h {
+		t.Fatal("distinct (slot, gen) pairs pack to the same handle")
+	}
+}

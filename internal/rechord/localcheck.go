@@ -26,8 +26,8 @@ import "repro/internal/ident"
 // the published rl/rr view that rule 3's guards read in the
 // state-reading model). Peers unknown to the network report false.
 func (nw *Network) LocallyStable(id ident.ID) bool {
-	n, ok := nw.nodes[id]
-	if !ok {
+	n := nw.pt.node(id)
+	if n == nil {
 		return false
 	}
 	clone := n.clone()

@@ -3,6 +3,7 @@ package rechord
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -80,25 +81,23 @@ func publish(v *VNode) viewEntry {
 // detection.
 type Network struct {
 	cfg   Config
-	nodes map[ident.ID]*RealNode
+	pt    interner   // id ↔ dense slot registry; all hot per-peer state hangs off it
 	order []ident.ID // sorted, for deterministic iteration
 	round int
 
-	// levelOf tracks each peer's current max level, maintained
-	// incrementally (AddPeer, SeedEdge, round barrier, removePeer), so
-	// that stale references to deleted virtual nodes can be detected
-	// (see purge) without a per-round sweep.
-	levelOf map[ident.ID]int
+	// view is the published rl/rr state of every virtual node,
+	// slot-indexed: view[slot][level] is the entry other peers' rule-3
+	// guards read. Inner slices track each peer's level span and are
+	// maintained incrementally at round barriers; rules read them
+	// concurrently during the parallel phase, writes happen only
+	// between phases. A zero entry means "nothing published" (the old
+	// map representation only stored non-zero entries).
+	view [][]viewEntry
 
-	// view is the published rl/rr state of every virtual node that has
-	// one, maintained incrementally at round barriers. Rules read it
-	// concurrently during the parallel phase; it is only written
-	// between phases.
-	view map[ref.Ref]viewEntry
-
-	// frontier lists peers whose dirty flag is set. Entries may be
-	// stale (peer departed, or re-collected); Step filters by the flag.
-	frontier []ident.ID
+	// frontier lists the slots of peers whose dirty flag is set.
+	// Entries may be stale (peer departed, slot re-collected); Step
+	// filters by liveness and the flag.
+	frontier []uint32
 
 	// lastChange is the most recent round whose execution changed the
 	// global state, the quantity convergence experiments report.
@@ -115,33 +114,60 @@ type Network struct {
 	bucketMsgs int
 
 	pool    *workerPool
-	active  []ident.ID
+	active  []uint32
 	results []nodeResult
-	pres    []map[int]*VNode
+	pres    [][]*VNode
+
+	// reroute scratch (serial barrier phase only): per-recipient groups
+	// of the sender's output and the previous recipients' owner list.
+	// Replaces two maps per rerouted peer per round; group buffers are
+	// recycled across calls.
+	rrGroups []rrGroup
+}
+
+// rrGroup is one recipient's slice of a rerouted output.
+type rrGroup struct {
+	owner ident.ID
+	msgs  []Message
 }
 
 // NewNetwork creates an empty network.
 func NewNetwork(cfg Config) *Network {
-	return &Network{
-		cfg:     cfg,
-		nodes:   make(map[ident.ID]*RealNode),
-		levelOf: make(map[ident.ID]int),
-		view:    make(map[ref.Ref]viewEntry),
+	return &Network{cfg: cfg}
+}
+
+// Reserve pre-sizes the per-peer tables for n additional peers, so
+// bulk topology builds (topogen, large-scale experiments) do not grow
+// the dense state peer by peer.
+func (nw *Network) Reserve(n int) {
+	nw.pt.reserve(n)
+	if cap(nw.view)-len(nw.view) < n {
+		nw.view = append(make([][]viewEntry, 0, len(nw.view)+n), nw.view...)
+	}
+	if cap(nw.order)-len(nw.order) < n {
+		nw.order = append(make([]ident.ID, 0, len(nw.order)+n), nw.order...)
 	}
 }
+
+// node returns the live peer registered under the identifier, or nil.
+func (nw *Network) node(id ident.ID) *RealNode { return nw.pt.node(id) }
 
 // AddPeer inserts a real node with the identifier and no edges. It is
 // the caller's job (topogen, Join) to give it initial knowledge.
 func (nw *Network) AddPeer(id ident.ID) *RealNode {
-	if _, ok := nw.nodes[id]; ok {
+	if _, ok := nw.pt.lookup(id); ok {
 		panic(fmt.Sprintf("rechord: duplicate peer id %s", id))
 	}
-	n := &RealNode{id: id, vnodes: map[int]*VNode{0: newVNode(id, 0)}}
-	nw.nodes[id] = n
+	n := &RealNode{id: id, vnodes: []*VNode{newVNode(id, 0)}}
+	slot := nw.pt.intern(n)
+	for int(slot) >= len(nw.view) {
+		nw.view = append(nw.view, nil)
+	}
+	nw.view[slot] = nw.view[slot][:0]
+	nw.view[slot] = append(nw.view[slot], viewEntry{})
 	nw.bumpEpoch(n)
 	nw.insertOrder(id)
-	nw.levelOf[id] = 0
-	nw.markDirty(id)
+	nw.markDirtyIdx(slot)
 	if nw.round > 0 {
 		// Re-materialize standing flow addressed to this identifier: a
 		// peer re-joining under an id that live senders still target
@@ -149,16 +175,16 @@ func (nw *Network) AddPeer(id ident.ID) *RealNode {
 		// would re-deliver them. Peers that merely hold stale
 		// references to the id behave differently now that it resolves
 		// again, so they are woken too.
-		for sid, s := range nw.nodes {
-			if sid == id {
+		for _, s := range nw.pt.nodes {
+			if s == nil || s == n {
 				continue
 			}
 			for _, m := range s.lastOut {
 				if m.To.Owner == id {
 					if n.in == nil {
-						n.in = make(map[ident.ID][]Message)
+						n.in = make(map[handle][]Message)
 					}
-					n.in[sid] = append(n.in[sid], m)
+					n.in[s.h()] = append(n.in[s.h()], m)
 					nw.bucketMsgs++
 				}
 			}
@@ -187,13 +213,20 @@ func (nw *Network) removeOrder(id ident.ID) {
 	}
 }
 
-// markDirty puts the peer on the frontier: its inputs (inbox, purge
-// environment, or published neighbor state) may have changed, so the
-// next Step must run its rules.
-func (nw *Network) markDirty(id ident.ID) {
-	if n, ok := nw.nodes[id]; ok && !n.dirty {
+// markDirtyIdx puts the peer in the slot on the frontier: its inputs
+// (inbox, purge environment, or published neighbor state) may have
+// changed, so the next Step must run its rules.
+func (nw *Network) markDirtyIdx(slot uint32) {
+	if n := nw.pt.nodes[slot]; n != nil && !n.dirty {
 		n.dirty = true
-		nw.frontier = append(nw.frontier, id)
+		nw.frontier = append(nw.frontier, slot)
+	}
+}
+
+// markDirty is markDirtyIdx for callers holding only the identifier.
+func (nw *Network) markDirty(id ident.ID) {
+	if slot, ok := nw.pt.lookup(id); ok {
+		nw.markDirtyIdx(slot)
 	}
 }
 
@@ -209,8 +242,8 @@ func (nw *Network) Wake(id ident.ID) { nw.markDirty(id) }
 // network is at the global fixed point, and every further Step is the
 // identity on the global state.
 func (nw *Network) Quiescent() bool {
-	for _, id := range nw.frontier {
-		if n, ok := nw.nodes[id]; ok && n.dirty {
+	for _, slot := range nw.frontier {
+		if n := nw.pt.nodes[slot]; n != nil && n.dirty {
 			return false
 		}
 	}
@@ -219,17 +252,18 @@ func (nw *Network) Quiescent() bool {
 
 // FrontierSize returns the number of peers currently scheduled to run
 // in the next round. Stale frontier entries (a peer that departed
-// while dirty and rejoined under the same identifier) are deduplicated
-// the same way Step's collection pass is.
+// while dirty, its slot possibly re-tenanted) are deduplicated the
+// same way Step's collection pass is: by the dirty flag, counting each
+// slot once.
 func (nw *Network) FrontierSize() int {
-	seen := make(map[ident.ID]bool, len(nw.frontier))
+	seen := make(map[uint32]bool, len(nw.frontier))
 	c := 0
-	for _, id := range nw.frontier {
-		if seen[id] {
+	for _, slot := range nw.frontier {
+		if seen[slot] {
 			continue
 		}
-		seen[id] = true
-		if n, ok := nw.nodes[id]; ok && n.dirty {
+		seen[slot] = true
+		if n := nw.pt.nodes[slot]; n != nil && n.dirty {
 			c++
 		}
 	}
@@ -261,11 +295,38 @@ func (nw *Network) bumpEpoch(n *RealNode) {
 // stamped every round (conservative, so caches merely lose their
 // effectiveness, never their correctness).
 func (nw *Network) PeerEpoch(id ident.ID) (int, bool) {
-	n, ok := nw.nodes[id]
-	if !ok {
+	n := nw.pt.node(id)
+	if n == nil {
 		return 0, false
 	}
 	return n.epoch, true
+}
+
+// PeerSlot exposes the peer's dense interner slot and the generation
+// of its current incarnation. Slot-indexed side tables (the routing
+// table cache, say) use the pair instead of an id-keyed map: the slot
+// addresses the entry, the generation guards against a slot reused by
+// a later peer. ok is false when the peer is not in the network.
+func (nw *Network) PeerSlot(id ident.ID) (slot int, gen uint32, ok bool) {
+	i, ok := nw.pt.lookup(id)
+	if !ok {
+		return 0, 0, false
+	}
+	return int(i), nw.pt.gens[i], true
+}
+
+// SlotSpan returns the size of the interner's slot space (live plus
+// free slots): the bound consumers sizing slot-indexed tables need.
+func (nw *Network) SlotSpan() int { return nw.pt.span() }
+
+// PeerSlotEpoch is PeerSlot and PeerEpoch in one resolution: slot,
+// generation and change epoch of the peer's current incarnation.
+func (nw *Network) PeerSlotEpoch(id ident.ID) (slot int, gen uint32, epoch int, ok bool) {
+	i, ok := nw.pt.lookup(id)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	return int(i), nw.pt.gens[i], nw.pt.nodes[i].epoch, true
 }
 
 // EpochClock returns the current value of the global epoch clock: the
@@ -279,17 +340,14 @@ func (nw *Network) EpochClock() int { return nw.epochClock }
 // edge of the kind, creating the source virtual node if needed. Used to
 // build arbitrary initial states.
 func (nw *Network) SeedEdge(from, to ref.Ref, k graph.Kind) {
-	n, ok := nw.nodes[from.Owner]
+	slot, ok := nw.pt.lookup(from.Owner)
 	if !ok {
 		panic(fmt.Sprintf("rechord: SeedEdge from unknown peer %s", from.Owner))
 	}
-	v, ok := n.vnodes[from.Level]
-	if !ok {
-		v = newVNode(from.Owner, from.Level)
-		n.vnodes[from.Level] = v
-		if from.Level > nw.levelOf[from.Owner] {
-			nw.levelOf[from.Owner] = from.Level
-		}
+	n := nw.pt.nodes[slot]
+	v := n.ensureLevel(from.Level)
+	if int32(from.Level) > nw.pt.maxLv[slot] {
+		nw.pt.maxLv[slot] = int32(from.Level)
 	}
 	switch k {
 	case graph.Unmarked:
@@ -300,7 +358,7 @@ func (nw *Network) SeedEdge(from, to ref.Ref, k graph.Kind) {
 		v.addNc(to)
 	}
 	nw.bumpEpoch(n)
-	nw.markDirty(from.Owner)
+	nw.markDirtyIdx(slot)
 }
 
 // Peers returns the identifiers of all real nodes in increasing order.
@@ -309,21 +367,22 @@ func (nw *Network) Peers() []ident.ID {
 }
 
 // Peer returns the real node with the identifier, or nil.
-func (nw *Network) Peer(id ident.ID) *RealNode { return nw.nodes[id] }
+func (nw *Network) Peer(id ident.ID) *RealNode { return nw.pt.node(id) }
 
 // NumPeers returns the number of real nodes.
-func (nw *Network) NumPeers() int { return len(nw.nodes) }
+func (nw *Network) NumPeers() int { return nw.pt.live }
 
 // Round returns the number of rounds executed so far.
 func (nw *Network) Round() int { return nw.round }
 
-// rebuildLevels recomputes levelOf from scratch. The synchronous
-// engine maintains it incrementally; the asynchronous runner and the
-// white-box rule fixtures refresh it wholesale before reading.
+// rebuildLevels recomputes the per-slot max levels from scratch. The
+// engine maintains them incrementally; the white-box rule fixtures
+// refresh them wholesale after mutating peer state directly.
 func (nw *Network) rebuildLevels() {
-	clear(nw.levelOf)
-	for id, n := range nw.nodes {
-		nw.levelOf[id] = n.MaxLevel()
+	for slot, n := range nw.pt.nodes {
+		if n != nil {
+			nw.pt.maxLv[slot] = int32(n.MaxLevel())
+		}
 	}
 }
 
@@ -331,14 +390,37 @@ func (nw *Network) rebuildLevels() {
 // rebuildLevels for when this is needed instead of the incremental
 // maintenance).
 func (nw *Network) rebuildView() {
-	clear(nw.view)
-	for _, n := range nw.nodes {
-		for _, v := range n.vnodes {
-			if e := publish(v); e != (viewEntry{}) {
-				nw.view[v.Self] = e
-			}
+	for slot, n := range nw.pt.nodes {
+		if n == nil {
+			nw.view[slot] = nil
+			continue
 		}
+		vs := nw.view[slot][:0]
+		for _, v := range n.vnodes {
+			e := viewEntry{}
+			if v != nil {
+				e = publish(v)
+			}
+			vs = append(vs, e)
+		}
+		nw.view[slot] = vs
 	}
+}
+
+// viewOf reads the published rl/rr entry of the referenced virtual
+// node: the round-start state rule 3's guards consult. Unknown peers
+// and out-of-span levels read as the zero entry, exactly like the
+// absent keys of the old ref-keyed map.
+func (nw *Network) viewOf(r ref.Ref) viewEntry {
+	slot, ok := nw.pt.lookup(r.Owner)
+	if !ok {
+		return viewEntry{}
+	}
+	vs := nw.view[slot]
+	if r.Level >= len(vs) {
+		return viewEntry{}
+	}
+	return vs[r.Level]
 }
 
 // resolve maps a reference onto a node that currently exists: dead
@@ -346,11 +428,11 @@ func (nw *Network) rebuildView() {
 // peer fall back to the peer's real node, which in a deployment is the
 // process that answers for all of the peer's virtual addresses.
 func (nw *Network) resolve(r ref.Ref) (ref.Ref, bool) {
-	max, ok := nw.levelOf[r.Owner]
+	slot, ok := nw.pt.lookup(r.Owner)
 	if !ok {
 		return ref.Ref{}, false
 	}
-	if r.Level > max {
+	if int32(r.Level) > nw.pt.maxLv[slot] {
 		return ref.Real(r.Owner), true
 	}
 	return r, true
@@ -362,6 +444,9 @@ func (nw *Network) resolve(r ref.Ref) (ref.Ref, bool) {
 // in DESIGN.md for the paper's implicit fault model).
 func (nw *Network) purge(n *RealNode) {
 	for _, v := range n.vnodes {
+		if v == nil {
+			continue
+		}
 		for _, s := range []*ref.Set{&v.Nu, &v.Nr, &v.Nc} {
 			var fixed []ref.Ref
 			dirty := false
@@ -397,8 +482,11 @@ func (nw *Network) purge(n *RealNode) {
 // order over buckets does not matter.
 func (nw *Network) deliver(n *RealNode) {
 	apply := func(msg Message) {
-		v, ok := n.vnodes[msg.To.Level]
-		if !ok {
+		var v *VNode
+		if msg.To.Level < len(n.vnodes) {
+			v = n.vnodes[msg.To.Level]
+		}
+		if v == nil {
 			v = n.vnodes[n.MaxLevel()]
 		}
 		switch msg.Kind {
@@ -459,8 +547,10 @@ func (nw *Network) Step() RoundStats {
 	stats := RoundStats{Round: nw.round}
 
 	if nw.cfg.FullSweep {
-		for _, id := range nw.order {
-			nw.markDirty(id)
+		for slot, n := range nw.pt.nodes {
+			if n != nil {
+				nw.markDirtyIdx(uint32(slot))
+			}
 		}
 	}
 
@@ -481,24 +571,32 @@ func (nw *Network) Step() RoundStats {
 	return stats
 }
 
-// collectFrontier drains the frontier into a deterministic (sorted)
-// active list, clearing dirty flags so that barrier-time re-dirtying
-// schedules peers for the NEXT round. The returned slice is owned by
-// the network and reused across rounds.
-func (nw *Network) collectFrontier() []ident.ID {
+// collectFrontier drains the frontier into a deterministic active list
+// of slots (sorted by peer identifier), clearing dirty flags so that
+// barrier-time re-dirtying schedules peers for the NEXT round. The
+// returned slice is owned by the network and reused across rounds.
+func (nw *Network) collectFrontier() []uint32 {
 	active := nw.active[:0]
-	for _, id := range nw.frontier {
-		if n, ok := nw.nodes[id]; ok && n.dirty {
+	for _, slot := range nw.frontier {
+		if n := nw.pt.nodes[slot]; n != nil && n.dirty {
 			n.dirty = false
-			active = append(active, id)
+			active = append(active, slot)
 		}
 	}
 	nw.frontier = nw.frontier[:0]
 	nw.active = active
-	if len(active) > 1 {
-		ident.Sort(active)
-	}
+	nw.sortSlotsByID(active)
 	return active
+}
+
+// sortSlotsByID orders live slots by their peers' identifiers: the
+// deterministic execution order every barrier and rng-consuming
+// schedule relies on.
+func (nw *Network) sortSlotsByID(slots []uint32) {
+	if len(slots) > 1 {
+		ids := nw.pt.ids
+		sort.Slice(slots, func(i, j int) bool { return ids[slots[i]] < ids[slots[j]] })
+	}
 }
 
 // runBatch executes one phased batch over the active (sorted) peers:
@@ -517,33 +615,19 @@ func (nw *Network) collectFrontier() []ident.ID {
 // buckets. With settle=false (the full sweep) no pre-round copy is
 // kept: every executed peer is re-stamped and none leaves the frontier
 // early.
-func (nw *Network) runBatch(active []ident.ID, settle bool, route func(n *RealNode, out []Message, outChanged, stateChanged bool), stats *RoundStats) bool {
+func (nw *Network) runBatch(active []uint32, settle bool, route func(n *RealNode, out []Message, outChanged, stateChanged bool), stats *RoundStats) bool {
 	// Phase 1 (serial): deliver and purge the active peers, keeping a
 	// pre-round copy of their own state for the settle check.
 	if cap(nw.results) < len(active) {
 		nw.results = make([]nodeResult, len(active))
-		nw.pres = make([]map[int]*VNode, len(active))
+		pres := make([][]*VNode, len(active))
+		copy(pres, nw.pres)
+		nw.pres = pres
 	}
 	results := nw.results[:len(active)]
 	pres := nw.pres[:len(active)]
 	changed := false
-	for i, id := range active {
-		n := nw.nodes[id]
-		if settle {
-			pres[i] = n.cloneVNodes()
-		}
-		if len(n.inbox) > 0 {
-			// Consuming a one-shot message changes the global state
-			// even when the peer's own state ends up unchanged.
-			changed = true
-		}
-		nw.deliver(n)
-		nw.purge(n)
-	}
 
-	// Phase 2 (parallel): run rules 1-6 on the active peers. Each peer
-	// reads only its own state and the immutable view of published
-	// rl/rr values, so execution order is irrelevant.
 	workers := nw.cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -555,21 +639,18 @@ func (nw *Network) runBatch(active []ident.ID, settle bool, route func(n *RealNo
 	if workers > len(active) {
 		workers = len(active)
 	}
-	if workers <= 1 {
-		for i, id := range active {
-			n := nw.nodes[id]
-			results[i] = nw.runRules(n, n.scratch.out[:0])
-		}
-	} else {
+
+	// runOnPool fans f(i) for i in [0, len(active)) over the worker
+	// pool; f must only touch per-index/per-peer state.
+	runOnPool := func(f func(i int)) {
 		pool := nw.ensurePool(poolSize)
-		if workers > pool.size {
-			workers = pool.size
+		w := workers
+		if w > pool.size {
+			w = pool.size
 		}
 		var wg sync.WaitGroup
 		var next atomic.Int64
-		nodes := nw.nodes
-		run := nw.runRules
-		wg.Add(workers)
+		wg.Add(w)
 		task := func() {
 			defer wg.Done()
 			for {
@@ -577,14 +658,58 @@ func (nw *Network) runBatch(active []ident.ID, settle bool, route func(n *RealNo
 				if i >= len(active) {
 					return
 				}
-				n := nodes[active[i]]
-				results[i] = run(n, n.scratch.out[:0])
+				f(i)
 			}
 		}
-		for w := 0; w < workers; w++ {
+		for k := 0; k < w; k++ {
 			pool.tasks <- task
 		}
 		wg.Wait()
+	}
+
+	// Phase 1: deliver and purge the active peers, keeping a pre-round
+	// copy of their own state for the settle check. Every step touches
+	// only the peer's own state (purge reads the interner's tables,
+	// which phase 1 never writes), so large batches fan out over the
+	// pool like the rule phase does.
+	var anyInbox atomic.Bool
+	phase1 := func(i int) {
+		n := nw.pt.nodes[active[i]]
+		if settle {
+			pres[i] = n.cloneVNodes(pres[i])
+		}
+		if len(n.inbox) > 0 {
+			// Consuming a one-shot message changes the global state
+			// even when the peer's own state ends up unchanged.
+			anyInbox.Store(true)
+		}
+		nw.deliver(n)
+		nw.purge(n)
+	}
+	if workers <= 1 {
+		for i := range active {
+			phase1(i)
+		}
+	} else {
+		runOnPool(phase1)
+	}
+	if anyInbox.Load() {
+		changed = true
+	}
+
+	// Phase 2 (parallel): run rules 1-6 on the active peers. Each peer
+	// reads only its own state and the immutable view of published
+	// rl/rr values, so execution order is irrelevant.
+	if workers <= 1 {
+		for i, slot := range active {
+			n := nw.pt.nodes[slot]
+			results[i] = nw.runRules(n, n.scratch.out[:0])
+		}
+	} else {
+		runOnPool(func(i int) {
+			n := nw.pt.nodes[active[i]]
+			results[i] = nw.runRules(n, n.scratch.out[:0])
+		})
 	}
 
 	// Phase 3 (serial barrier): publish level and rl/rr changes, route
@@ -592,55 +717,61 @@ func (nw *Network) runBatch(active []ident.ID, settle bool, route func(n *RealNo
 	// peers whose round was a no-op.
 	var viewChanged map[ref.Ref]bool
 	var ownerChanged map[ident.ID]bool
-	for i, id := range active {
-		n := nw.nodes[id]
+	for i, slot := range active {
+		n := nw.pt.nodes[slot]
+		id := n.id
 		res := results[i]
 		stats.VirtualMade += res.made
 		stats.VirtualKilled += res.killed
 
 		// Publish the peer's level so other peers' purges detect stale
 		// references to its deleted virtual nodes.
-		oldMax := nw.levelOf[id]
+		oldMax := int(nw.pt.maxLv[slot])
 		newMax := n.MaxLevel()
 		if newMax != oldMax {
-			nw.levelOf[id] = newMax
+			nw.pt.maxLv[slot] = int32(newMax)
 			if ownerChanged == nil {
 				ownerChanged = make(map[ident.ID]bool)
 			}
 			ownerChanged[id] = true
 		}
 		// Publish rl/rr changes (including entries of deleted levels).
-		for lvl := newMax + 1; lvl <= oldMax; lvl++ {
-			r := ref.Virtual(id, lvl)
-			if _, ok := nw.view[r]; ok {
-				delete(nw.view, r)
+		vs := nw.view[slot]
+		for lvl := newMax + 1; lvl < len(vs); lvl++ {
+			if vs[lvl] != (viewEntry{}) {
 				if viewChanged == nil {
 					viewChanged = make(map[ref.Ref]bool)
 				}
-				viewChanged[r] = true
+				viewChanged[ref.Virtual(id, lvl)] = true
 			}
 		}
-		for _, v := range n.vnodes {
-			cur := publish(v)
-			if old := nw.view[v.Self]; old != cur {
-				if cur == (viewEntry{}) {
-					delete(nw.view, v.Self)
-				} else {
-					nw.view[v.Self] = cur
-				}
+		if len(vs) > newMax+1 {
+			vs = vs[:newMax+1]
+		}
+		for len(vs) <= newMax {
+			vs = append(vs, viewEntry{})
+		}
+		for lvl, v := range n.vnodes {
+			cur := viewEntry{}
+			if v != nil {
+				cur = publish(v)
+			}
+			if vs[lvl] != cur {
+				vs[lvl] = cur
 				if viewChanged == nil {
 					viewChanged = make(map[ref.Ref]bool)
 				}
-				viewChanged[v.Self] = true
+				viewChanged[ref.Virtual(id, lvl)] = true
 			}
 		}
+		nw.view[slot] = vs
 
 		// Route the output. Only contributions that differ from the
 		// standing buckets touch memory or wake recipients.
 		stateChanged := false
 		if settle {
 			stateChanged = !n.vnodesEqual(pres[i])
-			pres[i] = nil
+			pres[i] = pres[i][:0] // keep the buffer for the next batch
 		}
 		out := res.out
 		outChanged := !sameMessages(out, n.lastOut)
@@ -654,7 +785,7 @@ func (nw *Network) runBatch(active []ident.ID, settle bool, route func(n *RealNo
 			}
 			if outChanged || stateChanged {
 				// Not a local fixed point yet: stay on the frontier.
-				nw.markDirty(id)
+				nw.markDirtyIdx(slot)
 				changed = true
 			}
 		} else {
@@ -664,13 +795,38 @@ func (nw *Network) runBatch(active []ident.ID, settle bool, route func(n *RealNo
 			nw.bumpEpoch(n)
 		}
 		// lastOut takes ownership of the content; the scratch buffer is
-		// recycled for the peer's next run.
-		n.lastOut = append(n.lastOut[:0], out...)
-		n.scratch.out = out[:0]
+		// recycled for the peer's next run. Both are right-sized when
+		// their capacity is a transient-peak leftover (the convergence
+		// phase emits outputs many times larger than the steady flow).
+		lo := n.lastOut[:0]
+		if cap(lo) > 2*len(out)+8 {
+			lo = nil
+		}
+		n.lastOut = append(lo, out...)
+		if settle && !outChanged && !stateChanged {
+			// Local fixed point: the peer just left the frontier, and
+			// its rule scratch is re-derivable on the next wake.
+			// Releasing it means a settled peer holds only protocol
+			// state, its standing flow, and its last output — the
+			// number bench-mem tracks.
+			n.scratch = ruleScratch{}
+		} else if cap(out) > 4*len(out)+8 {
+			n.scratch.out = nil
+		} else {
+			n.scratch.out = out[:0]
+		}
+		results[i] = nodeResult{} // release the output alias
 	}
 
 	if len(ownerChanged) > 0 || len(viewChanged) > 0 {
 		nw.wakeDependents(ownerChanged, viewChanged)
+	}
+	// Drop the batch arrays (and the vnode clones pinned by the settle
+	// buffers) once the frontier has contracted well below their
+	// capacity: keeping them would retain a near-full copy of the
+	// network's peak-round state for the rest of the run.
+	if len(active)*4 < cap(nw.results) {
+		nw.results, nw.pres = nil, nil
 	}
 	return changed
 }
@@ -685,34 +841,80 @@ func (nw *Network) syncRoute(n *RealNode, out []Message, outChanged, _ bool) {
 
 // reroute replaces sender n's standing contributions with its new
 // output: per recipient, the bucket is rewritten (and the recipient
-// woken) only when the contribution actually changed.
+// woken) only when the contribution actually changed. Grouping runs
+// over sorted scratch slices instead of per-call maps; per-recipient
+// message order (the emission order sameMessages compares) is
+// preserved by the stable sort.
 func (nw *Network) reroute(n *RealNode, out []Message) {
-	touched := make(map[ident.ID]bool, len(out)+len(n.lastOut))
-	var newBy map[ident.ID][]Message
-	if len(out) > 0 {
-		newBy = make(map[ident.ID][]Message, len(out))
-		for _, m := range out {
-			newBy[m.To.Owner] = append(newBy[m.To.Owner], m)
-			touched[m.To.Owner] = true
+	// Group the output by recipient, preserving per-recipient emission
+	// order. The group list is kept sorted by owner, so membership is
+	// a binary search and inserts are small memmoves — outputs reach a
+	// few dozen distinct recipients at scale, where a per-message
+	// linear scan (let alone a map) costs more.
+	groups := nw.rrGroups
+	ng := 0
+	for _, m := range out {
+		owner := m.To.Owner
+		lo, hi := 0, ng
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if groups[mid].owner < owner {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == ng || groups[lo].owner != owner {
+			if ng == len(groups) {
+				groups = append(groups, rrGroup{})
+			}
+			ins := groups[ng] // recycle the spare entry's msgs buffer
+			copy(groups[lo+1:ng+1], groups[lo:ng])
+			ins.owner = owner
+			ins.msgs = ins.msgs[:0]
+			groups[lo] = ins
+			ng++
+		}
+		groups[lo].msgs = append(groups[lo].msgs, m)
+	}
+	nw.rrGroups = groups
+	h := n.h()
+	// Previous recipients with no new contribution get their bucket
+	// deleted. Duplicate owners in lastOut issue redundant deletes,
+	// which rerouteOne turns into no-ops; processing order is free
+	// here, since bucket rewrites are per-recipient independent and
+	// the frontier is re-sorted at collection.
+	for _, m := range n.lastOut {
+		owner := m.To.Owner
+		lo, hi := 0, ng
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if groups[mid].owner < owner {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == ng || groups[lo].owner != owner {
+			nw.rerouteOne(h, owner, nil)
 		}
 	}
-	for _, m := range n.lastOut {
-		touched[m.To.Owner] = true
-	}
-	for dstID := range touched {
-		nw.rerouteOne(n.id, dstID, newBy[dstID])
+	for g := 0; g < ng; g++ {
+		nw.rerouteOne(h, groups[g].owner, groups[g].msgs)
 	}
 }
 
 // rerouteOne replaces one sender's standing contribution at one
 // recipient, waking the recipient only when the contribution actually
 // changed. An empty contribution deletes the bucket; a departed
-// recipient is a no-op.
-func (nw *Network) rerouteOne(sender, dstID ident.ID, newB []Message) {
-	dst, ok := nw.nodes[dstID]
+// recipient is a no-op. newB may alias caller scratch: the bucket
+// stores a copy, reusing the previous bucket's storage.
+func (nw *Network) rerouteOne(sender handle, dstID ident.ID, newB []Message) {
+	slot, ok := nw.pt.lookup(dstID)
 	if !ok {
 		return // destination departed
 	}
+	dst := nw.pt.nodes[slot]
 	oldB := dst.in[sender]
 	if sameMessages(oldB, newB) {
 		return
@@ -722,11 +924,18 @@ func (nw *Network) rerouteOne(sender, dstID ident.ID, newB []Message) {
 		delete(dst.in, sender)
 	} else {
 		if dst.in == nil {
-			dst.in = make(map[ident.ID][]Message)
+			dst.in = make(map[handle][]Message)
 		}
-		dst.in[sender] = newB
+		b := oldB[:0]
+		if cap(b) > 2*len(newB)+8 {
+			// The convergence transient can leave buckets with peak
+			// capacities far above their steady content; right-size
+			// instead of pinning the spike forever.
+			b = nil
+		}
+		dst.in[sender] = append(b, newB...)
 	}
-	nw.markDirty(dstID)
+	nw.markDirtyIdx(slot)
 }
 
 // installBucketQuiet sets the sender's standing bucket at the
@@ -734,10 +943,10 @@ func (nw *Network) rerouteOne(sender, dstID ident.ID, newB []Message) {
 // for run-stable contributions, whose content already reached the
 // recipient as one-shot messages when it last changed — the bucket is
 // just the repeating representation from then on.
-func (nw *Network) installBucketQuiet(dst *RealNode, sender ident.ID, msgs []Message) {
+func (nw *Network) installBucketQuiet(dst *RealNode, sender handle, msgs []Message) {
 	nw.bucketMsgs += len(msgs) - len(dst.in[sender])
 	if dst.in == nil {
-		dst.in = make(map[ident.ID][]Message)
+		dst.in = make(map[handle][]Message)
 	}
 	dst.in[sender] = msgs
 }
@@ -747,7 +956,7 @@ func (nw *Network) installBucketQuiet(dst *RealNode, sender ident.ID, msgs []Mes
 // bucket whenever the sender's contribution changes: the new version
 // travels as one-shot messages instead, because replaying transient
 // versions out of standing buckets re-perturbs settled regions.
-func (nw *Network) dropBucket(dst *RealNode, alive bool, sender ident.ID) bool {
+func (nw *Network) dropBucket(dst *RealNode, alive bool, sender handle) bool {
 	if !alive || dst == nil {
 		return false
 	}
@@ -770,13 +979,16 @@ func (nw *Network) wakeDependents(owners map[ident.ID]bool, refs map[ref.Ref]boo
 	depends := func(r ref.Ref) bool {
 		return owners[r.Owner] || refs[r]
 	}
-	for id, n := range nw.nodes {
-		if n.dirty {
+	for slot, n := range nw.pt.nodes {
+		if n == nil || n.dirty {
 			continue
 		}
 		found := false
 	scan:
 		for _, v := range n.vnodes {
+			if v == nil {
+				continue
+			}
 			for _, s := range []*ref.Set{&v.Nu, &v.Nr, &v.Nc} {
 				for _, r := range s.Slice() {
 					if depends(r) {
@@ -808,7 +1020,7 @@ func (nw *Network) wakeDependents(owners map[ident.ID]bool, refs map[ref.Ref]boo
 			}
 		}
 		if found {
-			nw.markDirty(id)
+			nw.markDirtyIdx(uint32(slot))
 		}
 	}
 }
@@ -831,9 +1043,11 @@ type Snapshot struct {
 // inboxes, which are part of the global state of the synchronous
 // model).
 func (nw *Network) TakeSnapshot() *Snapshot {
-	s := &Snapshot{Round: nw.round, nodes: make(map[ident.ID]*RealNode, len(nw.nodes))}
-	for id, n := range nw.nodes {
-		s.nodes[id] = n.clone()
+	s := &Snapshot{Round: nw.round, nodes: make(map[ident.ID]*RealNode, nw.pt.live)}
+	for _, n := range nw.pt.nodes {
+		if n != nil {
+			s.nodes[n.id] = n.clone()
+		}
 	}
 	return s
 }
@@ -861,7 +1075,7 @@ func (s *Snapshot) Equal(o *Snapshot) bool {
 func (nw *Network) Graph() *graph.Graph {
 	g := graph.New()
 	for _, id := range nw.order {
-		n := nw.nodes[id]
+		n := nw.pt.node(id)
 		for _, v := range n.vnodesByLevel() {
 			g.AddNode(v.Self)
 			for _, r := range v.Nu.Slice() {
@@ -876,7 +1090,7 @@ func (nw *Network) Graph() *graph.Graph {
 		}
 	}
 	for _, id := range nw.order {
-		for _, msg := range nw.nodes[id].inboxMessages() {
+		for _, msg := range nw.pt.node(id).inboxMessages() {
 			if msg.To != msg.Add {
 				g.AddEdge(msg.To, msg.Add, msg.Kind)
 			}
@@ -895,8 +1109,11 @@ func (nw *Network) ReChordGraph() *graph.Graph {
 		g.AddNode(ref.Real(id))
 	}
 	for _, id := range nw.order {
-		n := nw.nodes[id]
+		n := nw.pt.node(id)
 		for _, v := range n.vnodes {
+			if v == nil {
+				continue
+			}
 			for _, set := range []ref.Set{v.Nu, v.Nr} {
 				for _, r := range set.Slice() {
 					if r.Owner != id {

@@ -57,9 +57,9 @@ func TestPurgeRedirectsStaleLevel(t *testing.T) {
 	nw.SeedEdge(ref.Real(b), stale, graph.Ring)
 	nw.SeedEdge(ref.Real(b), stale, graph.Connection)
 
-	nw.purge(nw.nodes[b])
+	nw.purge(nw.node(b))
 
-	v := nw.nodes[b].VNode(0)
+	v := nw.node(b).VNode(0)
 	for name, s := range map[string]*ref.Set{"Nu": &v.Nu, "Nr": &v.Nr, "Nc": &v.Nc} {
 		if s.Contains(stale) {
 			t.Errorf("%s still holds the stale reference %s", name, stale)

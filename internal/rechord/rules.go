@@ -53,18 +53,20 @@ func (c *ruleContext) ruleVirtualNodes() {
 	n := c.n
 	n.scratch.realID = n.knownRealsInto(n.scratch.realID)
 	m := ident.LevelFor(n.id, n.scratch.realID)
-	// create-virtualnodes
+	// create-virtualnodes: fill levels 1..m (including any seeding
+	// holes below m).
 	for i := 1; i <= m; i++ {
-		if _, ok := n.vnodes[i]; !ok {
-			n.vnodes[i] = newVNode(n.id, i)
+		if n.VNode(i) == nil {
+			n.ensureLevel(i)
 			c.res.made++
 		}
 	}
 	// delete-virtualnodes: inform u_m of each deleted node's
 	// neighborhood (N_u ∪ N_r ∪ N_c), then drop the node.
 	um := n.vnodes[m]
-	for l, v := range n.vnodes {
-		if l <= m {
+	for l := m + 1; l < len(n.vnodes); l++ {
+		v := n.vnodes[l]
+		if v == nil {
 			continue
 		}
 		for _, s := range []ref.Set{v.Nu, v.Nr, v.Nc} {
@@ -75,15 +77,17 @@ func (c *ruleContext) ruleVirtualNodes() {
 				um.addNu(r)
 			}
 		}
-		delete(n.vnodes, l)
 		c.res.killed++
+		n.vnodes[l] = nil // release before the truncation below
 	}
+	n.vnodes = n.vnodes[:m+1]
 	// Drop references to the peer's own no-longer-existing levels: the
-	// peer knows its own virtual node set exactly.
+	// peer knows its own virtual node set exactly. After the create
+	// and delete passes the level set is contiguous 0..m.
 	for _, v := range n.vnodes {
 		for _, s := range []*ref.Set{&v.Nu, &v.Nr, &v.Nc} {
 			s.RemoveIf(func(r ref.Ref) bool {
-				return r.Owner == n.id && n.vnodes[r.Level] == nil
+				return r.Owner == n.id && r.Level > m
 			})
 		}
 	}
@@ -161,7 +165,7 @@ func (c *ruleContext) ruleClosestRealNeighbor() {
 			reals.Add(r)
 		}
 	}
-	view := c.nw.view
+	nw := c.nw
 	for _, level := range n.scratch.levels {
 		ui := n.vnodes[level]
 		uiID := ui.Self.ID()
@@ -176,7 +180,7 @@ func (c *ruleContext) ruleClosestRealNeighbor() {
 				if !(yID > uiID || (v.ID() < yID && yID < uiID)) {
 					continue
 				}
-				if e := view[y]; e.hasRL && e.rl.ID() >= v.ID() {
+				if e := nw.viewOf(y); e.hasRL && e.rl.ID() >= v.ID() {
 					continue // y already knows an equal or closer left real
 				}
 				c.send(y, graph.Unmarked, v)
@@ -195,7 +199,7 @@ func (c *ruleContext) ruleClosestRealNeighbor() {
 				if !(yID < uiID || (v.ID() > yID && yID > uiID)) {
 					continue
 				}
-				if e := view[y]; e.hasRR && e.rr.ID() <= v.ID() {
+				if e := nw.viewOf(y); e.hasRR && e.rr.ID() <= v.ID() {
 					continue // y already knows an equal or closer right real
 				}
 				c.send(y, graph.Unmarked, v)
@@ -295,8 +299,7 @@ func (c *ruleContext) ruleRingEdges() {
 			wID := w.ID()
 			// candidates x come from N(u_i) ∪ N_r(u_i)
 			cand := &n.scratch.cand
-			cand.CopyFrom(*known)
-			cand.AddAll(ui.Nr)
+			cand.MergeSorted(known.Slice(), ui.Nr.Slice())
 			switch {
 			case wID > uiID:
 				// w believes it is the global maximum. If someone
@@ -348,12 +351,16 @@ func (c *ruleContext) ruleConnectionEdges() {
 	}
 	for _, level := range n.scratch.levels {
 		ui := n.vnodes[level]
+		if ui.Nc.Empty() {
+			continue
+		}
+		// w = max{x in N_u(u_i) ∪ S(u_i) : x < v}. The candidate set is
+		// loop-invariant: forwarding removes connection edges and sends
+		// messages, but never touches N_u or the sibling set.
+		cand := &n.scratch.cand
+		cand.MergeSorted(ui.Nu.Slice(), sibSet.Slice())
 		n.scratch.snap = append(n.scratch.snap[:0], ui.Nc.Slice()...)
 		for _, v := range n.scratch.snap {
-			// w = max{x in N_u(u_i) ∪ S(u_i) : x < v}
-			cand := &n.scratch.cand
-			cand.CopyFrom(ui.Nu)
-			cand.AddAll(*sibSet)
 			w, ok := cand.MaxBelow(v.ID())
 			switch {
 			case ok && w != ui.Self:

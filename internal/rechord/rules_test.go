@@ -72,9 +72,7 @@ func TestRule1DeletesAndMergesNeighborhoods(t *testing.T) {
 	f.nw.SeedEdge(ref.Real(w), ref.Real(u), graph.Unmarked)
 	fw := f.nw.Peer(w)
 	for _, l := range []int{1, 2, 3} {
-		if fw.vnodes[l] == nil {
-			fw.vnodes[l] = newVNode(w, l)
-		}
+		fw.ensureLevel(l)
 	}
 
 	res := f.run(0.1)

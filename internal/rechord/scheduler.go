@@ -78,8 +78,10 @@ func (nw *Network) LastChange() int { return nw.lastChange }
 // standing per-sender buckets plus the one-shot inboxes.
 func (nw *Network) InFlight() int {
 	c := nw.bucketMsgs
-	for _, n := range nw.nodes {
-		c += len(n.inbox)
+	for _, n := range nw.pt.nodes {
+		if n != nil {
+			c += len(n.inbox)
+		}
 	}
 	return c
 }

@@ -95,20 +95,31 @@ func (v *VNode) equal(o *VNode) bool {
 }
 
 // RealNode is a peer: its immutable identifier and the virtual nodes
-// it currently simulates (levels 0..m, always contiguous after rule 1).
+// it currently simulates. vnodes is indexed by level; entries can be
+// nil holes between seeding and the peer's first rule execution (rule
+// 1 makes levels 0..m contiguous), but level 0 and the last entry are
+// always present, so MaxLevel is len(vnodes)-1.
 type RealNode struct {
 	id     ident.ID
-	vnodes map[int]*VNode
+	vnodes []*VNode
 
-	// in holds the peer's standing inbox as per-sender buckets: the
-	// bucket for sender s contains the messages s emitted at its most
-	// recently executed round. In the synchronous model a peer at a
-	// local fixed point regenerates the same output every round, so the
-	// bucket doubles as that repeating flow: the scheduler replaces a
-	// bucket only when the sender's output actually changes, and a
-	// skipped (clean) peer's pending inbox is exactly the union of its
-	// buckets — identical to what a full sweep would have delivered.
-	in map[ident.ID][]Message
+	// idx/gen are the peer's slot in the network's interner: together
+	// they form its handle, the compact incarnation-safe reference the
+	// execution layer addresses it by (see intern.go).
+	idx, gen uint32
+
+	// in holds the peer's standing inbox as per-sender buckets, keyed
+	// by the sender's handle: the bucket for sender s contains the
+	// messages s emitted at its most recently executed round. In the
+	// synchronous model a peer at a local fixed point regenerates the
+	// same output every round, so the bucket doubles as that repeating
+	// flow: the scheduler replaces a bucket only when the sender's
+	// output actually changes, and a skipped (clean) peer's pending
+	// inbox is exactly the union of its buckets — identical to what a
+	// full sweep would have delivered. Handle keys make a bucket from a
+	// departed incarnation impossible to confuse with its slot's next
+	// tenant.
+	in map[handle][]Message
 	// inbox holds one-shot messages outside the standing flow: leave
 	// goodbyes and the final output of a departed peer. They are
 	// consumed on delivery; buckets are not.
@@ -152,45 +163,59 @@ type ruleScratch struct {
 	lefts  []ref.Ref
 	rights []ref.Ref
 	realID []ident.ID
+	ksSibs []ref.Ref // knownSetInto's private sibling buffer
+	ksTmp  ref.Set   // knownSetInto's merge ping-pong buffer
 }
 
 // ID returns the peer's identifier.
 func (n *RealNode) ID() ident.ID { return n.id }
 
+// h returns the peer's handle: its interner slot plus the generation
+// of its current incarnation.
+func (n *RealNode) h() handle { return mkHandle(n.idx, n.gen) }
+
 // Levels returns the levels of the currently simulated virtual nodes
 // in increasing order (0 is always present).
 func (n *RealNode) Levels() []int {
-	ls := make([]int, 0, len(n.vnodes))
-	for l := range n.vnodes {
-		ls = append(ls, l)
-	}
-	sort.Ints(ls)
-	return ls
+	return n.levelsInto(make([]int, 0, len(n.vnodes)))
 }
 
 // levelsInto is Levels reusing the given buffer.
 func (n *RealNode) levelsInto(buf []int) []int {
 	buf = buf[:0]
-	for l := range n.vnodes {
-		buf = append(buf, l)
+	for l, v := range n.vnodes {
+		if v != nil {
+			buf = append(buf, l)
+		}
 	}
-	sort.Ints(buf)
 	return buf
 }
 
-// MaxLevel returns the current m: the highest simulated level.
-func (n *RealNode) MaxLevel() int {
-	m := 0
-	for l := range n.vnodes {
-		if l > m {
-			m = l
-		}
-	}
-	return m
-}
+// MaxLevel returns the current m: the highest simulated level. The
+// last vnodes entry is non-nil by invariant.
+func (n *RealNode) MaxLevel() int { return len(n.vnodes) - 1 }
 
 // VNode returns the virtual node at the level, or nil.
-func (n *RealNode) VNode(level int) *VNode { return n.vnodes[level] }
+func (n *RealNode) VNode(level int) *VNode {
+	if level < 0 || level >= len(n.vnodes) {
+		return nil
+	}
+	return n.vnodes[level]
+}
+
+// ensureLevel grows the vnode slice (with nil holes) so that `level`
+// is indexable, returning the (possibly fresh) virtual node there.
+func (n *RealNode) ensureLevel(level int) *VNode {
+	for len(n.vnodes) <= level {
+		n.vnodes = append(n.vnodes, nil)
+	}
+	v := n.vnodes[level]
+	if v == nil {
+		v = newVNode(n.id, level)
+		n.vnodes[level] = v
+	}
+	return v
+}
 
 // siblings returns refs to all currently simulated virtual nodes
 // (including level 0), sorted by identifier.
@@ -201,8 +226,10 @@ func (n *RealNode) siblings() []ref.Ref {
 // siblingsInto is siblings reusing the given buffer.
 func (n *RealNode) siblingsInto(buf []ref.Ref) []ref.Ref {
 	buf = buf[:0]
-	for l := range n.vnodes {
-		buf = append(buf, ref.Virtual(n.id, l))
+	for l, v := range n.vnodes {
+		if v != nil {
+			buf = append(buf, ref.Virtual(n.id, l))
+		}
 	}
 	sort.Slice(buf, func(i, j int) bool { return buf[i].Less(buf[j]) })
 	return buf
@@ -211,8 +238,10 @@ func (n *RealNode) siblingsInto(buf []ref.Ref) []ref.Ref {
 // vnodesByLevel returns the virtual nodes ordered by level.
 func (n *RealNode) vnodesByLevel() []*VNode {
 	out := make([]*VNode, 0, len(n.vnodes))
-	for _, l := range n.Levels() {
-		out = append(out, n.vnodes[l])
+	for _, v := range n.vnodes {
+		if v != nil {
+			out = append(out, v)
+		}
 	}
 	return out
 }
@@ -225,14 +254,23 @@ func (n *RealNode) knownSet() ref.Set {
 	return known
 }
 
-// knownSetInto fills s with N(u), reusing its storage.
+// knownSetInto fills s with N(u), reusing its storage. The union is
+// built by linear merges of the (already sorted) per-level
+// neighborhoods instead of element-wise sorted insertion: at large m
+// this is the single hottest operation of a round.
 func (n *RealNode) knownSetInto(s *ref.Set) {
-	s.Clear()
-	for l := range n.vnodes {
-		s.Add(ref.Virtual(n.id, l))
-	}
+	n.scratch.ksSibs = n.siblingsInto(n.scratch.ksSibs)
+	s.MergeSorted(n.scratch.ksSibs, nil)
+	cur, other := s, &n.scratch.ksTmp
 	for _, v := range n.vnodes {
-		s.AddAll(v.Nu)
+		if v == nil || v.Nu.Empty() {
+			continue
+		}
+		other.MergeSorted(cur.Slice(), v.Nu.Slice())
+		cur, other = other, cur
+	}
+	if cur != s {
+		s.CopyFrom(*cur)
 	}
 }
 
@@ -248,6 +286,9 @@ func (n *RealNode) knownReals() []ident.ID {
 		}
 	}
 	for _, v := range n.vnodes {
+		if v == nil {
+			continue
+		}
 		add(v.Nu)
 		add(v.Nr)
 		add(v.Nc)
@@ -265,6 +306,9 @@ func (n *RealNode) knownReals() []ident.ID {
 func (n *RealNode) knownRealsInto(buf []ident.ID) []ident.ID {
 	buf = buf[:0]
 	for _, v := range n.vnodes {
+		if v == nil {
+			continue
+		}
 		for _, s := range []*ref.Set{&v.Nu, &v.Nr, &v.Nc} {
 			for _, r := range s.Slice() {
 				if r.IsReal() && r.Owner != n.id {
@@ -302,12 +346,14 @@ func (n *RealNode) pendingInbox() int {
 }
 
 func (n *RealNode) clone() *RealNode {
-	c := &RealNode{id: n.id, vnodes: make(map[int]*VNode, len(n.vnodes))}
+	c := &RealNode{id: n.id, idx: n.idx, gen: n.gen, vnodes: make([]*VNode, len(n.vnodes))}
 	for l, v := range n.vnodes {
-		c.vnodes[l] = v.clone()
+		if v != nil {
+			c.vnodes[l] = v.clone()
+		}
 	}
 	if len(n.in) > 0 {
-		c.in = make(map[ident.ID][]Message, len(n.in))
+		c.in = make(map[handle][]Message, len(n.in))
 		for s, ms := range n.in {
 			c.in[s] = append([]Message(nil), ms...)
 		}
@@ -319,23 +365,47 @@ func (n *RealNode) clone() *RealNode {
 
 // cloneVNodes copies only the peer's own protocol state (virtual nodes
 // with their edge sets and rl/rr), for the scheduler's settle check.
-func (n *RealNode) cloneVNodes() map[int]*VNode {
-	c := make(map[int]*VNode, len(n.vnodes))
+// The copy recycles buf's VNode objects and their set storage (the
+// barrier keeps one buffer per active index, so steady batches stop
+// allocating for the pre-round copies entirely).
+func (n *RealNode) cloneVNodes(buf []*VNode) []*VNode {
+	spare := buf[:cap(buf)] // retired clones beyond len(buf) are reusable
+	c := buf[:0]
 	for l, v := range n.vnodes {
-		c[l] = v.clone()
+		if v == nil {
+			c = append(c, nil)
+			continue
+		}
+		var dst *VNode
+		if l < len(spare) {
+			dst = spare[l]
+		}
+		if dst == nil {
+			dst = &VNode{}
+		}
+		dst.Self = v.Self
+		dst.Nu.CopyFrom(v.Nu)
+		dst.Nr.CopyFrom(v.Nr)
+		dst.Nc.CopyFrom(v.Nc)
+		dst.RL, dst.RR = v.RL, v.RR
+		dst.HasRL, dst.HasRR = v.HasRL, v.HasRR
+		c = append(c, dst)
 	}
 	return c
 }
 
 // vnodesEqual compares the peer's own protocol state against a
 // cloneVNodes copy.
-func (n *RealNode) vnodesEqual(o map[int]*VNode) bool {
+func (n *RealNode) vnodesEqual(o []*VNode) bool {
 	if len(n.vnodes) != len(o) {
 		return false
 	}
 	for l, v := range n.vnodes {
-		ov, ok := o[l]
-		if !ok || !v.equal(ov) {
+		ov := o[l]
+		if (v == nil) != (ov == nil) {
+			return false
+		}
+		if v != nil && !v.equal(ov) {
 			return false
 		}
 	}

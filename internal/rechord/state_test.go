@@ -107,10 +107,10 @@ func TestVNodeCloneIndependent(t *testing.T) {
 }
 
 func TestRealNodeAccessors(t *testing.T) {
-	n := &RealNode{id: ident.FromFloat(0.5), vnodes: map[int]*VNode{
-		0: newVNode(ident.FromFloat(0.5), 0),
-		1: newVNode(ident.FromFloat(0.5), 1),
-		2: newVNode(ident.FromFloat(0.5), 2),
+	n := &RealNode{id: ident.FromFloat(0.5), vnodes: []*VNode{
+		newVNode(ident.FromFloat(0.5), 0),
+		newVNode(ident.FromFloat(0.5), 1),
+		newVNode(ident.FromFloat(0.5), 2),
 	}}
 	if n.ID() != ident.FromFloat(0.5) {
 		t.Error("ID accessor wrong")
@@ -134,7 +134,7 @@ func TestRealNodeAccessors(t *testing.T) {
 
 func TestKnownRealsExcludesSelfAndVirtuals(t *testing.T) {
 	u := ident.FromFloat(0.5)
-	n := &RealNode{id: u, vnodes: map[int]*VNode{0: newVNode(u, 0)}}
+	n := &RealNode{id: u, vnodes: []*VNode{newVNode(u, 0)}}
 	v := n.vnodes[0]
 	v.addNu(ref.Real(ident.FromFloat(0.7)))       // real: counted
 	v.addNu(ref.Virtual(ident.FromFloat(0.3), 1)) // virtual: not an edge to a real node

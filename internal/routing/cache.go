@@ -128,6 +128,7 @@ func RouteUncached(nw *rechord.Network, from, key ident.ID) (ident.ID, int, erro
 }
 
 type cacheEntry struct {
+	gen   uint32 // incarnation the table was built for
 	epoch int
 	table *Table
 }
@@ -140,6 +141,13 @@ type cacheEntry struct {
 // state entirely; after churn, exactly the peers whose state the
 // re-stabilization rewrote are rebuilt.
 //
+// Storage is a dense slot-indexed slice, addressed by the network's
+// interner slot for the peer (rechord.Network.PeerSlot) rather than an
+// id-keyed map: a lookup is a slice index plus a generation check, and
+// the cache's footprint is one entry per slot ever used. The entry's
+// generation guards slot reuse — a table built for one incarnation is
+// never served to a later tenant of the same slot.
+//
 // The cache itself is safe for concurrent use. Reads of the underlying
 // network are NOT synchronized here: callers that interleave lookups
 // with Step/Join/Leave/Fail must serialize them externally (readers
@@ -147,29 +155,32 @@ type cacheEntry struct {
 type Cache struct {
 	nw *rechord.Network
 
-	mu      sync.RWMutex
-	entries map[ident.ID]cacheEntry
+	mu    sync.RWMutex
+	slots []cacheEntry
 
 	hits, misses atomic.Uint64
 }
 
 // NewCache creates an empty cache over the network.
 func NewCache(nw *rechord.Network) *Cache {
-	return &Cache{nw: nw, entries: make(map[ident.ID]cacheEntry)}
+	return &Cache{nw: nw, slots: make([]cacheEntry, nw.SlotSpan())}
 }
 
 // Table returns the peer's current routing table, rebuilding it only
 // when the peer's change epoch moved since the cached copy was built.
 // The returned table is shared and must not be mutated.
 func (c *Cache) Table(id ident.ID) (*Table, error) {
-	epoch, ok := c.nw.PeerEpoch(id)
+	slot, gen, epoch, ok := c.nw.PeerSlotEpoch(id)
 	if !ok {
 		return nil, fmt.Errorf("routing: unknown peer %s", id)
 	}
 	c.mu.RLock()
-	e, have := c.entries[id]
+	var e cacheEntry
+	if slot < len(c.slots) {
+		e = c.slots[slot]
+	}
 	c.mu.RUnlock()
-	if have && e.epoch == epoch {
+	if e.table != nil && e.gen == gen && e.epoch == epoch {
 		c.hits.Add(1)
 		return e.table, nil
 	}
@@ -179,7 +190,10 @@ func (c *Cache) Table(id ident.ID) (*Table, error) {
 	}
 	c.misses.Add(1)
 	c.mu.Lock()
-	c.entries[id] = cacheEntry{epoch: epoch, table: t}
+	for slot >= len(c.slots) {
+		c.slots = append(c.slots, cacheEntry{})
+	}
+	c.slots[slot] = cacheEntry{gen: gen, epoch: epoch, table: t}
 	c.mu.Unlock()
 	return t, nil
 }
@@ -194,16 +208,21 @@ func (c *Cache) Resolve(from, key ident.ID) (owner ident.ID, hops int, err error
 	return c.Route(from, key)
 }
 
-// Prune drops entries for peers that have departed or whose epoch
-// moved, bounding the cache under sustained churn. It returns how many
-// entries were dropped.
+// Prune drops entries for peers that have departed (their slot's
+// generation moved on) or whose epoch moved, bounding the live tables
+// under sustained churn. It returns how many entries were dropped.
 func (c *Cache) Prune() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	dropped := 0
-	for id, e := range c.entries {
-		if epoch, ok := c.nw.PeerEpoch(id); !ok || epoch != e.epoch {
-			delete(c.entries, id)
+	for slot := range c.slots {
+		e := &c.slots[slot]
+		if e.table == nil {
+			continue
+		}
+		cur, gen, epoch, ok := c.nw.PeerSlotEpoch(e.table.Self)
+		if !ok || cur != slot || gen != e.gen || epoch != e.epoch {
+			*e = cacheEntry{}
 			dropped++
 		}
 	}
@@ -214,7 +233,13 @@ func (c *Cache) Prune() int {
 func (c *Cache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.slots {
+		if c.slots[i].table != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Stats returns the hit/miss counters since creation.

@@ -42,6 +42,13 @@ type Options struct {
 	TrackSeries bool
 	// Ideal, when set, is used to detect the "almost stable" state.
 	Ideal *rechord.Ideal
+	// SkipFinalMetrics leaves Result.Final at the cheap subset (round
+	// and peer count) instead of exporting the full graph. Measure
+	// materializes every node and edge into map-backed graph state —
+	// fine at the paper's scale, but at n=65536 (≈1M virtual nodes,
+	// several million edges) it costs more memory than the network
+	// itself; the large-scale suite opts out.
+	SkipFinalMetrics bool
 }
 
 // Result reports a run's outcome.
@@ -140,6 +147,12 @@ func Run(ctx context.Context, s rechord.Scheduler, opt Options) Result {
 		maxSteps = DefaultBudget(s)
 	}
 	res := Result{AlmostStableRound: -1}
+	measure := func() RoundMetrics {
+		if opt.SkipFinalMetrics {
+			return RoundMetrics{Round: nw.Round(), RealNodes: nw.NumPeers()}
+		}
+		return Measure(nw)
+	}
 	start := s.Time() // steps are counted relative to this run
 	var prev *rechord.Snapshot
 	if snw, ok := s.(*rechord.Network); ok && !snw.Incremental() {
@@ -149,7 +162,7 @@ func Run(ctx context.Context, s rechord.Scheduler, opt Options) Result {
 		if ctx.Err() != nil {
 			res.Canceled = true
 			res.Rounds = s.Time() - start
-			res.Final = Measure(nw)
+			res.Final = measure()
 			return res
 		}
 		if opt.TrackSeries {
@@ -175,7 +188,7 @@ func Run(ctx context.Context, s rechord.Scheduler, opt Options) Result {
 				if res.Rounds < 0 {
 					res.Rounds = 0
 				}
-				res.Final = Measure(nw)
+				res.Final = measure()
 				return res
 			}
 			continue
@@ -186,13 +199,13 @@ func Run(ctx context.Context, s rechord.Scheduler, opt Options) Result {
 			res.Stable = true
 			// The state was already fixed before this (unchanged) round.
 			res.Rounds = s.Time() - 1 - start
-			res.Final = Measure(nw)
+			res.Final = measure()
 			return res
 		}
 		prev = cur
 	}
 	res.Rounds = s.Time() - start
-	res.Final = Measure(nw)
+	res.Final = measure()
 	return res
 }
 

@@ -33,6 +33,19 @@ func RandomIDs(n int, rng *rand.Rand) []ident.ID {
 	return out
 }
 
+// newNet creates a network pre-sized for the peer set (reserving the
+// interner's dense per-peer tables in one step) and adds every peer.
+// ids are inserted in the given order; pass a sorted copy for
+// generators that want deterministic slot assignment by identifier.
+func newNet(cfg rechord.Config, ids []ident.ID) *rechord.Network {
+	nw := rechord.NewNetwork(cfg)
+	nw.Reserve(len(ids))
+	for _, id := range ids {
+		nw.AddPeer(id)
+	}
+	return nw
+}
+
 // Generator produces an initial network over the given peer ids. The
 // produced state must leave the real nodes weakly connected; anything
 // else about it may be arbitrary.
@@ -49,10 +62,7 @@ func Random() Generator {
 }
 
 func buildRandom(ids []ident.ID, rng *rand.Rand, cfg rechord.Config) *rechord.Network {
-	nw := rechord.NewNetwork(cfg)
-	for _, id := range ids {
-		nw.AddPeer(id)
-	}
+	nw := newNet(cfg, ids)
 	// Random spanning tree: attach each node to a random earlier node
 	// with a random direction, mirroring an undirected random graph.
 	perm := rng.Perm(len(ids))
@@ -77,10 +87,7 @@ func buildRandom(ids []ident.ID, rng *rand.Rand, cfg rechord.Config) *rechord.Ne
 // worst case for linearization-style protocols.
 func Line() Generator {
 	return Generator{Name: "line", Build: func(ids []ident.ID, rng *rand.Rand, cfg rechord.Config) *rechord.Network {
-		nw := rechord.NewNetwork(cfg)
-		for _, id := range ids {
-			nw.AddPeer(id)
-		}
+		nw := newNet(cfg, ids)
 		perm := rng.Perm(len(ids))
 		for i := 1; i < len(ids); i++ {
 			nw.SeedEdge(ref.Real(ids[perm[i-1]]), ref.Real(ids[perm[i]]), graph.Unmarked)
@@ -92,10 +99,7 @@ func Line() Generator {
 // Star connects every peer to one random center, which knows nobody.
 func Star() Generator {
 	return Generator{Name: "star", Build: func(ids []ident.ID, rng *rand.Rand, cfg rechord.Config) *rechord.Network {
-		nw := rechord.NewNetwork(cfg)
-		for _, id := range ids {
-			nw.AddPeer(id)
-		}
+		nw := newNet(cfg, ids)
 		center := ids[rng.Intn(len(ids))]
 		for _, id := range ids {
 			if id != center {
@@ -110,10 +114,7 @@ func Star() Generator {
 // degree, stressing the pruning rules.
 func Clique() Generator {
 	return Generator{Name: "clique", Build: func(ids []ident.ID, rng *rand.Rand, cfg rechord.Config) *rechord.Network {
-		nw := rechord.NewNetwork(cfg)
-		for _, id := range ids {
-			nw.AddPeer(id)
-		}
+		nw := newNet(cfg, ids)
 		for _, a := range ids {
 			for _, b := range ids {
 				if a != b {
@@ -131,12 +132,9 @@ func Clique() Generator {
 // from the introduction.
 func BridgedPartitions(k int) Generator {
 	return Generator{Name: fmt.Sprintf("bridged-%d", k), Build: func(ids []ident.ID, rng *rand.Rand, cfg rechord.Config) *rechord.Network {
-		nw := rechord.NewNetwork(cfg)
 		sorted := append([]ident.ID(nil), ids...)
 		ident.Sort(sorted)
-		for _, id := range sorted {
-			nw.AddPeer(id)
-		}
+		nw := newNet(cfg, sorted)
 		groups := k
 		if groups < 1 {
 			groups = 1
@@ -172,10 +170,7 @@ func BridgedPartitions(k int) Generator {
 // dangling references to nonexistent peers.
 func Garbage() Generator {
 	return Generator{Name: "garbage", Build: func(ids []ident.ID, rng *rand.Rand, cfg rechord.Config) *rechord.Network {
-		nw := rechord.NewNetwork(cfg)
-		for _, id := range ids {
-			nw.AddPeer(id)
-		}
+		nw := newNet(cfg, ids)
 		kinds := graph.Kinds()
 		randRef := func(id ident.ID) ref.Ref {
 			return ref.Virtual(id, rng.Intn(8))
@@ -205,10 +200,7 @@ func Garbage() Generator {
 // stable base and to verify the stable state is a fixed point.
 func PreStabilized() Generator {
 	return Generator{Name: "prestabilized", Build: func(ids []ident.ID, rng *rand.Rand, cfg rechord.Config) *rechord.Network {
-		nw := rechord.NewNetwork(cfg)
-		for _, id := range ids {
-			nw.AddPeer(id)
-		}
+		nw := newNet(cfg, ids)
 		idl := rechord.ComputeIdeal(ids)
 		for _, x := range idl.Nodes() {
 			nu := idl.Nu(x)
@@ -235,12 +227,9 @@ func PreStabilized() Generator {
 // connected state.
 func Loopy() Generator {
 	return Generator{Name: "loopy", Build: func(ids []ident.ID, rng *rand.Rand, cfg rechord.Config) *rechord.Network {
-		nw := rechord.NewNetwork(cfg)
 		sorted := append([]ident.ID(nil), ids...)
 		ident.Sort(sorted)
-		for _, id := range sorted {
-			nw.AddPeer(id)
-		}
+		nw := newNet(cfg, sorted)
 		n := len(sorted)
 		if n < 2 {
 			return nw
