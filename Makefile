@@ -4,17 +4,28 @@
 
 GO ?= go
 
+# Pinned staticcheck version: CI installs exactly this; local installs
+# should match so findings agree (go install
+# honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)).
+STATICCHECK_VERSION := 2025.1.1
+
 # Benchmarks whose trajectory is tracked across PRs in BENCH_rounds.json:
 # the round-engine hot path (steady-state Step, incremental vs full
 # sweep), the per-round cost at the paper's scale, and fixed-point
 # detection.
 ROUND_BENCH := BenchmarkStepSteadyState|BenchmarkRound$$|BenchmarkSnapshot|BenchmarkChurnRecoveryLarge
 
+# The inverted-wake-index benchmark lives inside internal/rechord (it
+# drives unexported engine internals); only the indexed series is
+# recorded — the scan series is the O(n) equivalence baseline and takes
+# minutes at the larger size.
+WAKE_BENCH := BenchmarkWakeDependents/indexed
+
 # Serving-layer benchmarks tracked in BENCH_lookups.json: cached vs
 # uncached table routing and the end-to-end workload engine.
 LOOKUP_BENCH := BenchmarkTableLookup|BenchmarkWorkload
 
-.PHONY: all test test-short lint vet fmt bench bench-json bench-lookups bench-async bench-mem cover examples clean
+.PHONY: all test test-short lint vet fmt staticcheck bench bench-json bench-lookups bench-async bench-mem bench-diff cover examples clean
 
 all: lint test
 
@@ -26,7 +37,7 @@ test-short:
 	$(GO) build ./...
 	$(GO) test -race -short ./...
 
-lint: fmt vet
+lint: fmt vet staticcheck
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -34,6 +45,16 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when the binary is on PATH and is skipped (loudly)
+# otherwise, so `make lint` works on offline machines while CI — which
+# installs the pinned version — always enforces it.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
 
 # cover writes the aggregate coverage profile (uploaded as a CI
 # artifact) and prints the total.
@@ -56,9 +77,14 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 # bench-json records the round-engine benchmarks as machine-diffable
-# JSON (name, ns/op, allocs/op, custom metrics) in BENCH_rounds.json.
+# JSON (name, ns/op, allocs/op, custom metrics) in BENCH_rounds.json,
+# including the wake-index benchmark from internal/rechord (the two
+# sizes must stay flat relative to each other — that is the
+# frontier-proportional claim in numbers).
 bench-json:
-	$(GO) test -run '^$$' -bench '$(ROUND_BENCH)' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_rounds.json
+	{ $(GO) test -run '^$$' -bench '$(ROUND_BENCH)' -benchmem . ; \
+	  $(GO) test -run '^$$' -bench '$(WAKE_BENCH)' -benchmem -benchtime=1000x ./internal/rechord/ ; } \
+	  | $(GO) run ./cmd/benchjson > BENCH_rounds.json
 	@echo wrote BENCH_rounds.json
 
 # bench-lookups records the serving-layer benchmarks (table-lookup
@@ -86,6 +112,25 @@ bench-async:
 bench-mem:
 	$(GO) test -run '^$$' -bench 'BenchmarkMemoryPerPeer' -benchtime=1x . | $(GO) run ./cmd/benchjson > BENCH_mem.json
 	@echo wrote BENCH_mem.json
+
+# bench-diff re-records the gated benchmarks (few iterations — alloc
+# counts are deterministic, wall-clock drift is warn-only anyway) and
+# compares them against the committed baselines without overwriting
+# them. This is the same gate CI's bench-diff job runs: an allocs/op
+# regression on the steady-state benchmarks fails, everything else
+# warns.
+bench-diff:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkStepSteadyState' -benchmem -benchtime=1000x . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkRound$$|BenchmarkSnapshot|BenchmarkChurnRecoveryLarge' -benchmem -benchtime=1x . ; \
+	  $(GO) test -run '^$$' -bench '$(WAKE_BENCH)' -benchmem -benchtime=1000x ./internal/rechord/ ; } \
+	  | $(GO) run ./cmd/benchjson > /tmp/bench_new_rounds.json
+	$(GO) run ./cmd/benchdiff -base BENCH_rounds.json -new /tmp/bench_new_rounds.json \
+	  -fail-allocs 'BenchmarkStepSteadyState|BenchmarkWakeDependents'
+	{ $(GO) test -run '^$$' -bench 'BenchmarkAsyncStep' -benchmem -benchtime=100000x . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkAsyncConvergence|BenchmarkAsyncChurnRecovery' -benchmem -benchtime=3x . ; } \
+	  | $(GO) run ./cmd/benchjson > /tmp/bench_new_async.json
+	$(GO) run ./cmd/benchdiff -base BENCH_async.json -new /tmp/bench_new_async.json \
+	  -fail-allocs 'BenchmarkAsyncStep'
 
 clean:
 	$(GO) clean -testcache

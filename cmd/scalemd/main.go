@@ -1,0 +1,39 @@
+// Command scalemd renders a SCALE.json scale ladder (written by the
+// largescale suites when SCALE_JSON is set) as a markdown table. CI
+// pipes its output into $GITHUB_STEP_SUMMARY so every run publishes
+// the ladder — n, settle rounds, wall time, bytes/peer — next to the
+// logs.
+//
+// Usage: scalemd [SCALE.json]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/scaletable"
+)
+
+func run(args []string, stdout *os.File) error {
+	path := "SCALE.json"
+	if len(args) > 0 {
+		path = args[0]
+	}
+	es, err := scaletable.Load(path)
+	if err != nil {
+		return err
+	}
+	if len(es) == 0 {
+		fmt.Fprintf(stdout, "scalemd: no entries in %s\n", path)
+		return nil
+	}
+	fmt.Fprint(stdout, scaletable.Markdown(es))
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "scalemd: %v\n", err)
+		os.Exit(1)
+	}
+}

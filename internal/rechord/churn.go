@@ -99,13 +99,19 @@ func (nw *Network) removePeer(id ident.ID) {
 	n := nw.pt.node(id)
 	h := n.h() // the incarnation's handle, before the generation bump
 	nw.view[n.idx] = nil
+	nw.vhash[n.idx] = nw.vhash[n.idx][:0]
+	// The departed peer's own references leave the dependency index.
+	nw.dropStateDeps(n.idx)
 	nw.pt.release(n)
 	nw.removeOrder(id)
 	// The buckets stored on the departed peer die with it.
 	for _, ms := range n.in {
 		nw.bucketMsgs -= len(ms)
+		nw.depRemoveMsgs(n.idx, ms)
 	}
 	// Its standing flow to others becomes a final one-shot delivery.
+	// The moved messages leave the index with the bucket: the recipient
+	// is dirty from here on, and one-shot inboxes are not indexed.
 	for _, m := range n.lastOut {
 		dstSlot, ok := nw.pt.lookup(m.To.Owner)
 		if !ok {
@@ -115,6 +121,7 @@ func (nw *Network) removePeer(id ident.ID) {
 		if ms, ok := dst.in[h]; ok {
 			dst.inbox = append(dst.inbox, ms...)
 			nw.bucketMsgs -= len(ms)
+			nw.depRemoveMsgs(dstSlot, ms)
 			delete(dst.in, h)
 			nw.markDirtyIdx(dstSlot)
 		}

@@ -1,14 +1,16 @@
 // Package compact holds the compact-handle core's scale acceptance
-// tests: convergence to the exact oracle topology at n = 65536, four
-// times the previous suite ceiling (and 16x its random-graph tier).
-// The map-keyed layout this PR replaced (id-keyed node/level maps, a
-// ref-keyed global view, per-peer level maps) ran the settle ~2.2x
-// slower with ~1.5x the resident state — at n=65536, minutes past any
-// reasonable budget. The run is single-core memory-bandwidth-bound
-// (every round sweeps every active peer's standing flow), so the
-// tests live in their own package where TestMain below widens the
-// binary's deadline, and never crowd the rest of the largescale
-// suite.
+// tests: convergence to the exact oracle topology at n = 131072, two
+// doublings past the previous suite ceiling. Two engine layers make
+// the rung reachable: the dense slot-addressed state (this package's
+// original n=65536 target — the map-keyed layout ran ~2.2x slower
+// with ~1.5x the resident state) and the incremental dependency
+// machinery (inverted wake index + per-level settle hashing), which
+// removed the last two per-barrier terms that scaled with n instead
+// of with the frontier. The runs are single-core
+// memory-bandwidth-bound (every active round sweeps every active
+// peer's standing flow), so the tests live in their own package where
+// TestMain below widens the binary's deadline, and never crowd the
+// rest of the largescale suite.
 package compact
 
 import (
@@ -22,26 +24,39 @@ import (
 
 	"repro/internal/ident"
 	"repro/internal/rechord"
+	"repro/internal/scaletable"
 	"repro/internal/sim"
 	"repro/internal/topogen"
 )
 
 // TestMain widens this binary's deadline when it is still at the go
-// tool's injected default: the n=65536 settle alone is minutes of
-// single-core, memory-bandwidth-bound work, and `go test ./...` must
-// not flake at the 10-minute default on a slow or contended machine.
-// An explicitly chosen non-default -timeout is respected.
+// tool's injected default: the n=131072 settle alone is tens of
+// minutes of single-core, memory-bandwidth-bound work on a slow or
+// contended machine, and `go test ./...` must not flake at the
+// 10-minute default. An explicitly chosen non-default -timeout is
+// respected.
 func TestMain(m *testing.M) {
 	flag.Parse()
 	if f := flag.Lookup("test.timeout"); f != nil && f.Value.String() == "10m0s" {
-		f.Value.Set("40m0s")
+		f.Value.Set("120m0s")
 	}
 	os.Exit(m.Run())
 }
 
+// record appends a rung to the SCALE_JSON ladder (no-op unless CI
+// exports the variable); a write failure is a test failure so a
+// broken artifact pipeline is noticed, not silently published empty.
+func record(t *testing.T, e scaletable.Entry) {
+	t.Helper()
+	if err := scaletable.RecordEnv(e); err != nil {
+		t.Errorf("recording scale entry: %v", err)
+	}
+}
+
 // settle builds the pre-stabilized network of n random peers and runs
 // it to quiescence, returning the network, ids, and bytes of heap the
-// settled network (standing flows included) holds per peer.
+// settled network (standing flows included) holds per peer. The rung
+// is recorded to the SCALE_JSON ladder on the way out.
 func settle(t *testing.T, n int) (*rechord.Network, []ident.ID, float64) {
 	t.Helper()
 	runtime.GC()
@@ -58,11 +73,13 @@ func settle(t *testing.T, n int) (*rechord.Network, []ident.ID, float64) {
 	if !nw.Quiescent() {
 		t.Fatal("stable network not quiescent")
 	}
+	wall := time.Since(start)
 	runtime.GC()
 	var m1 runtime.MemStats
 	runtime.ReadMemStats(&m1)
 	perPeer := float64(m1.HeapAlloc-m0.HeapAlloc) / float64(n)
-	t.Logf("n=%d: settled in %d rounds, %v, %.0f bytes/peer", n, res.Rounds, time.Since(start), perPeer)
+	t.Logf("n=%d: settled in %d rounds, %v, %.0f bytes/peer", n, res.Rounds, wall, perPeer)
+	record(t, scaletable.Entry{N: n, Model: "sync", Rounds: res.Rounds, WallSeconds: wall.Seconds(), BytesPerPeer: perPeer})
 	return nw, ids, perPeer
 }
 
@@ -119,31 +136,36 @@ func TestCompactHandleSmoke(t *testing.T) {
 	churnAndReconverge(t, nw, ids, rand.New(rand.NewSource(99)))
 }
 
-// TestN65536ConvergesToIdeal is the headline scale test: the network
-// must settle to the exact oracle topology at n = 65536 — the
-// experiment the ROADMAP's production-scale north star asks for and
-// the map-based layout could not fit in a test budget. Churn handling
-// at scale is exercised by TestCompactHandleSmoke (and the largescale
-// suite's n=1024 failure test); repeating it at n=65536 adds minutes
-// of runtime without adding coverage, and the whole binary must stay
-// inside one go-test timeout.
-func TestN65536ConvergesToIdeal(t *testing.T) {
+// TestN131072ConvergesToIdeal is the headline scale test: the network
+// must settle to the exact oracle topology at n = 131072 — two
+// doublings past the n=65536 rung the compact-handle relayout bought,
+// reachable because a barrier now costs O(frontier), not O(n): the
+// inverted wake index finds the dependents of the round's changed
+// peers directly, and the per-level settle hash replaced the
+// per-barrier deep clone. Churn handling at scale is exercised by
+// TestCompactHandleSmoke (and the largescale suite's n=1024 failure
+// test); repeating it here adds tens of minutes of runtime without
+// adding coverage, and the whole binary must stay inside one go-test
+// timeout.
+func TestN131072ConvergesToIdeal(t *testing.T) {
 	if testing.Short() {
-		t.Skip("n=65536 convergence skipped with -short (see TestCompactHandleSmoke for the CI tier)")
+		t.Skip("n=131072 convergence skipped with -short (see TestCompactHandleSmoke for the CI tier)")
 	}
-	const n = 65536
+	const n = 131072
 	nw, ids, perPeer := settle(t, n)
 	if err := rechord.ComputeIdeal(ids).Matches(nw); err != nil {
 		t.Fatalf("n=%d converged to wrong state: %v", n, err)
 	}
 	// The dense layout's whole point: the settled per-peer footprint —
 	// dominated by the standing message flows (~300 messages per peer),
-	// with the protocol state on top — must stay small enough that
-	// n=65536 fits comfortably in memory. The map layout measured
+	// with the protocol state, per-level hashes, and the inverted
+	// index's dependent lists on top — must stay small enough that
+	// n=131072 fits comfortably in memory. The map layout measured
 	// ~72 KiB/peer at n=16384 where this layout (with settled peers
 	// releasing their rule scratch and right-sized flow buffers)
-	// measures ~47 KiB; the ceiling catches a regression without
-	// tripping on allocator noise.
+	// measures ~47 KiB; footprint grows ~log n with the level count,
+	// so the ceiling catches a regression without tripping on
+	// allocator noise.
 	if perPeer > 80*1024 {
 		t.Errorf("resident state = %.0f bytes/peer, want well under the map layout's footprint", perPeer)
 	}
@@ -159,5 +181,51 @@ func TestN65536ConvergesToIdeal(t *testing.T) {
 	}
 	if nw.FrontierSize() != 0 {
 		t.Fatal("quiescent rounds re-dirtied peers")
+	}
+}
+
+// TestAsyncN8192ConvergesToIdeal raises the asynchronous tier past
+// the largescale suite's n=2048: the event-driven runner — activation
+// probability 0.5, messages delayed up to 3 steps — must settle
+// n=8192 to the exact oracle state. The async barrier shares the
+// synchronous engine's incremental machinery (the wake index and
+// settle hashes are maintained by the same runBatch), so the rung
+// also pins that the index survives the async delivery paths at
+// scale.
+func TestAsyncN8192ConvergesToIdeal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=8192 async convergence skipped with -short")
+	}
+	const n = 8192
+	rng := rand.New(rand.NewSource(int64(n)))
+	ids := topogen.RandomIDs(n, rng)
+	nw := topogen.PreStabilized().Build(ids, rng, rechord.Config{})
+	runner := rechord.NewAsyncRunner(nw, rechord.AsyncConfig{ActivationProb: 0.5, MaxDelay: 3}, rng)
+	start := time.Now()
+	res, err := sim.RunToStable(context.Background(), runner, sim.Options{SkipFinalMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !runner.Quiescent() {
+		t.Fatal("stable async network not quiescent")
+	}
+	if err := rechord.ComputeIdeal(ids).Matches(nw); err != nil {
+		t.Fatalf("n=%d async converged to wrong state: %v", n, err)
+	}
+	wall := time.Since(start)
+	t.Logf("n=%d: settled in %d async steps, %v", n, res.Rounds, wall)
+	record(t, scaletable.Entry{N: n, Model: "async", Rounds: res.Rounds, WallSeconds: wall.Seconds()})
+
+	// Quiescent async steps stay frontier-proportional at this scale.
+	start = time.Now()
+	const extra = 1000
+	for i := 0; i < extra; i++ {
+		runner.Step()
+	}
+	if per := time.Since(start) / extra; per > time.Millisecond {
+		t.Errorf("quiescent async step cost %v at n=%d, want O(1)", per, n)
+	}
+	if nw.FrontierSize() != 0 {
+		t.Fatal("quiescent async steps re-dirtied peers")
 	}
 }

@@ -16,9 +16,20 @@ import (
 	"time"
 
 	"repro/internal/rechord"
+	"repro/internal/scaletable"
 	"repro/internal/sim"
 	"repro/internal/topogen"
 )
+
+// record appends a rung to the SCALE_JSON ladder (no-op unless CI
+// exports the variable); a write failure is a test failure so a broken
+// artifact pipeline is noticed, not silently published empty.
+func record(t *testing.T, e scaletable.Entry) {
+	t.Helper()
+	if err := scaletable.RecordEnv(e); err != nil {
+		t.Errorf("recording scale entry: %v", err)
+	}
+}
 
 func TestN4096ConvergesToIdeal(t *testing.T) {
 	if testing.Short() {
@@ -40,6 +51,7 @@ func TestN4096ConvergesToIdeal(t *testing.T) {
 		t.Fatalf("n=%d converged to wrong state: %v", n, err)
 	}
 	t.Logf("n=%d: settled in %d rounds, %v", n, res.Rounds, time.Since(start))
+	record(t, scaletable.Entry{N: n, Model: "sync", Rounds: res.Rounds, WallSeconds: time.Since(start).Seconds()})
 
 	// Steady state must be free: rounds past the fixed point touch
 	// nothing (the full sweep would re-run 4096 peers each time).
@@ -114,6 +126,7 @@ func TestAsyncN2048Converges(t *testing.T) {
 		t.Fatalf("n=%d async converged to wrong state: %v", n, err)
 	}
 	t.Logf("n=%d: settled in %d async steps, %v", n, res.Rounds, time.Since(start))
+	record(t, scaletable.Entry{N: n, Model: "async", Rounds: res.Rounds, WallSeconds: time.Since(start).Seconds()})
 
 	start = time.Now()
 	const extra = 1000

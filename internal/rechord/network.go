@@ -34,6 +34,14 @@ type Config struct {
 	// keeps the exhaustive schedule available as the equivalence
 	// baseline and for debugging.
 	FullSweep bool
+	// ParanoidSettle cross-checks the incremental barrier machinery
+	// against its O(n) baselines on every batch: the hash-based settle
+	// decision against the old clone-and-compare, and the inverted
+	// dependency index's wake set against the full-peer scan. Any
+	// disagreement panics. Intended for tests (the lockstep suites run
+	// with it on); it restores the per-barrier clone cost the hashes
+	// exist to remove.
+	ParanoidSettle bool
 }
 
 // RoundStats reports what happened during one Step of a Scheduler:
@@ -94,6 +102,25 @@ type Network struct {
 	// map representation only stored non-zero entries).
 	view [][]viewEntry
 
+	// vhash is the per-(slot, level) content hash of every peer's
+	// virtual nodes, the incremental settle check's state (see
+	// hash.go). Between batches vhash[slot] describes the peer's
+	// current state; phase 2 recomputes it for the peers that ran.
+	vhash [][]uint64
+
+	// deps is the inverted dependency index (see depindex.go):
+	// referenced owner identifier -> peers whose edge sets or standing
+	// buckets mention it. stateDeps[slot] is the peer's own edge-set
+	// contribution (sorted owner multiset), diffed against the index at
+	// the barrier when the peer's content hash changed.
+	deps      depIndex
+	stateDeps [][]ownerCount
+
+	// depOwners/depCounts are refreshStateDeps scratch (serial barrier
+	// phase only).
+	depOwners []ident.ID
+	depCounts []ownerCount
+
 	// frontier lists the slots of peers whose dirty flag is set.
 	// Entries may be stale (peer departed, slot re-collected); Step
 	// filters by liveness and the flag.
@@ -144,6 +171,12 @@ func (nw *Network) Reserve(n int) {
 	if cap(nw.view)-len(nw.view) < n {
 		nw.view = append(make([][]viewEntry, 0, len(nw.view)+n), nw.view...)
 	}
+	if cap(nw.vhash)-len(nw.vhash) < n {
+		nw.vhash = append(make([][]uint64, 0, len(nw.vhash)+n), nw.vhash...)
+	}
+	if cap(nw.stateDeps)-len(nw.stateDeps) < n {
+		nw.stateDeps = append(make([][]ownerCount, 0, len(nw.stateDeps)+n), nw.stateDeps...)
+	}
 	if cap(nw.order)-len(nw.order) < n {
 		nw.order = append(make([]ident.ID, 0, len(nw.order)+n), nw.order...)
 	}
@@ -162,9 +195,13 @@ func (nw *Network) AddPeer(id ident.ID) *RealNode {
 	slot := nw.pt.intern(n)
 	for int(slot) >= len(nw.view) {
 		nw.view = append(nw.view, nil)
+		nw.vhash = append(nw.vhash, nil)
+		nw.stateDeps = append(nw.stateDeps, nil)
 	}
 	nw.view[slot] = nw.view[slot][:0]
 	nw.view[slot] = append(nw.view[slot], viewEntry{})
+	nw.vhash[slot] = append(nw.vhash[slot][:0], hashVNode(n.vnodes[0]))
+	nw.stateDeps[slot] = nw.stateDeps[slot][:0] // a fresh peer references nothing
 	nw.bumpEpoch(n)
 	nw.insertOrder(id)
 	nw.markDirtyIdx(slot)
@@ -186,6 +223,7 @@ func (nw *Network) AddPeer(id ident.ID) *RealNode {
 					}
 					n.in[s.h()] = append(n.in[s.h()], m)
 					nw.bucketMsgs++
+					nw.deps.add(m.Add.Owner, slot, 1)
 				}
 			}
 		}
@@ -234,8 +272,17 @@ func (nw *Network) markDirty(id ident.ID) {
 // through the public API (Step, Join, Leave, Fail, SeedEdge) wakes the
 // affected peers automatically; callers that mutate a peer's state out
 // of band (fault injection, perturbation tests) must Wake it so the
-// activity scheduler notices the change.
-func (nw *Network) Wake(id ident.ID) { nw.markDirty(id) }
+// activity scheduler notices the change. Waking an identifier that is
+// unknown — never present, or departed (including via a now-stale
+// rejoin) — is an explicit no-op: there is no peer to schedule, and a
+// later AddPeer under the same identifier starts dirty anyway.
+func (nw *Network) Wake(id ident.ID) {
+	slot, ok := nw.pt.lookup(id)
+	if !ok {
+		return
+	}
+	nw.markDirtyIdx(slot)
+}
 
 // Quiescent reports whether the frontier is empty: no peer's inputs
 // have changed since it last reached a local fixed point. A quiescent
@@ -349,13 +396,32 @@ func (nw *Network) SeedEdge(from, to ref.Ref, k graph.Kind) {
 	if int32(from.Level) > nw.pt.maxLv[slot] {
 		nw.pt.maxLv[slot] = int32(from.Level)
 	}
-	switch k {
-	case graph.Unmarked:
-		v.addNu(to)
-	case graph.Ring:
-		v.addNr(to)
-	case graph.Connection:
-		v.addNc(to)
+	added := false
+	if to != v.Self {
+		switch k {
+		case graph.Unmarked:
+			added = v.Nu.Add(to)
+		case graph.Ring:
+			added = v.Nr.Add(to)
+		case graph.Connection:
+			added = v.Nc.Add(to)
+		}
+	}
+	// Out-of-band state mutation: keep the stored content hashes and
+	// the inverted dependency index describing the current state. Bulk
+	// seeding (topogen) calls SeedEdge once per edge, so the update is
+	// incremental — new levels are hashed as they appear, the touched
+	// level is rehashed, and the one new reference enters the index —
+	// instead of a whole-peer refresh per call.
+	hs := nw.vhash[slot]
+	for len(hs) < len(n.vnodes) {
+		hs = append(hs, hashVNode(n.vnodes[len(hs)]))
+	}
+	hs[from.Level] = hashVNode(v)
+	nw.vhash[slot] = hs
+	if added {
+		nw.deps.add(to.Owner, slot, 1)
+		nw.stateDepAdd(slot, to.Owner)
 	}
 	nw.bumpEpoch(n)
 	nw.markDirtyIdx(slot)
@@ -667,15 +733,18 @@ func (nw *Network) runBatch(active []uint32, settle bool, route func(n *RealNode
 		wg.Wait()
 	}
 
-	// Phase 1: deliver and purge the active peers, keeping a pre-round
-	// copy of their own state for the settle check. Every step touches
-	// only the peer's own state (purge reads the interner's tables,
-	// which phase 1 never writes), so large batches fan out over the
-	// pool like the rule phase does.
+	// Phase 1: deliver and purge the active peers. The settle check
+	// compares the stored content hashes (which describe the pre-round
+	// state by invariant) against a phase-2 recomputation, so no
+	// pre-round copy is needed; under ParanoidSettle the old deep clone
+	// is kept alongside to cross-check every settle decision. Every
+	// step touches only the peer's own state (purge reads the
+	// interner's tables, which phase 1 never writes), so large batches
+	// fan out over the pool like the rule phase does.
 	var anyInbox atomic.Bool
 	phase1 := func(i int) {
 		n := nw.pt.nodes[active[i]]
-		if settle {
+		if settle && nw.cfg.ParanoidSettle {
 			pres[i] = n.cloneVNodes(pres[i])
 		}
 		if len(n.inbox) > 0 {
@@ -697,18 +766,22 @@ func (nw *Network) runBatch(active []uint32, settle bool, route func(n *RealNode
 		changed = true
 	}
 
-	// Phase 2 (parallel): run rules 1-6 on the active peers. Each peer
-	// reads only its own state and the immutable view of published
-	// rl/rr values, so execution order is irrelevant.
+	// Phase 2 (parallel): run rules 1-6 on the active peers, then
+	// recompute each peer's content hashes — hchanged is the settle
+	// decision. Each peer reads only its own state and the immutable
+	// view of published rl/rr values (the hash refresh writes only the
+	// peer's own vhash slot), so execution order is irrelevant.
 	if workers <= 1 {
 		for i, slot := range active {
 			n := nw.pt.nodes[slot]
 			results[i] = nw.runRules(n, n.scratch.out[:0])
+			results[i].hchanged = nw.refreshHashSlot(slot, n)
 		}
 	} else {
 		runOnPool(func(i int) {
 			n := nw.pt.nodes[active[i]]
 			results[i] = nw.runRules(n, n.scratch.out[:0])
+			results[i].hchanged = nw.refreshHashSlot(active[i], n)
 		})
 	}
 
@@ -767,11 +840,23 @@ func (nw *Network) runBatch(active []uint32, settle bool, route func(n *RealNode
 		nw.view[slot] = vs
 
 		// Route the output. Only contributions that differ from the
-		// standing buckets touch memory or wake recipients.
+		// standing buckets touch memory or wake recipients. The settle
+		// decision is the phase-2 hash comparison; ParanoidSettle
+		// re-derives it from the deep clone and insists they agree.
 		stateChanged := false
 		if settle {
-			stateChanged = !n.vnodesEqual(pres[i])
-			pres[i] = pres[i][:0] // keep the buffer for the next batch
+			stateChanged = res.hchanged
+			if nw.cfg.ParanoidSettle {
+				if cloneChanged := !n.vnodesEqual(pres[i]); cloneChanged != stateChanged {
+					panic(fmt.Sprintf("rechord: settle hash says changed=%v but clone compare says %v for peer %s", stateChanged, cloneChanged, id))
+				}
+				pres[i] = pres[i][:0] // keep the buffer for the next batch
+			}
+		}
+		if res.hchanged {
+			// The peer's edge sets changed: re-derive its dependency
+			// contribution and diff it into the inverted index.
+			nw.refreshStateDeps(slot, n)
 		}
 		out := res.out
 		outChanged := !sameMessages(out, n.lastOut)
@@ -920,6 +1005,8 @@ func (nw *Network) rerouteOne(sender handle, dstID ident.ID, newB []Message) {
 		return
 	}
 	nw.bucketMsgs += len(newB) - len(oldB)
+	nw.depRemoveMsgs(slot, oldB)
+	nw.depAddMsgs(slot, newB)
 	if len(newB) == 0 {
 		delete(dst.in, sender)
 	} else {
@@ -945,6 +1032,8 @@ func (nw *Network) rerouteOne(sender handle, dstID ident.ID, newB []Message) {
 // just the repeating representation from then on.
 func (nw *Network) installBucketQuiet(dst *RealNode, sender handle, msgs []Message) {
 	nw.bucketMsgs += len(msgs) - len(dst.in[sender])
+	nw.depRemoveMsgs(dst.idx, dst.in[sender])
+	nw.depAddMsgs(dst.idx, msgs)
 	if dst.in == nil {
 		dst.in = make(map[handle][]Message)
 	}
@@ -965,64 +1054,9 @@ func (nw *Network) dropBucket(dst *RealNode, alive bool, sender handle) bool {
 		return false
 	}
 	nw.bucketMsgs -= len(ms)
+	nw.depRemoveMsgs(dst.idx, ms)
 	delete(dst.in, sender)
 	return true
-}
-
-// wakeDependents dirties every clean peer whose behavior can depend on
-// the given changes: owners whose liveness or level set changed (their
-// references purge differently now) and refs whose published rl/rr
-// changed (rule 3's guards read them). The scan covers the peers' edge
-// sets and their pending inbox, since a standing message can carry a
-// dependent reference through a round transiently.
-func (nw *Network) wakeDependents(owners map[ident.ID]bool, refs map[ref.Ref]bool) {
-	depends := func(r ref.Ref) bool {
-		return owners[r.Owner] || refs[r]
-	}
-	for slot, n := range nw.pt.nodes {
-		if n == nil || n.dirty {
-			continue
-		}
-		found := false
-	scan:
-		for _, v := range n.vnodes {
-			if v == nil {
-				continue
-			}
-			for _, s := range []*ref.Set{&v.Nu, &v.Nr, &v.Nc} {
-				for _, r := range s.Slice() {
-					if depends(r) {
-						found = true
-						break scan
-					}
-				}
-			}
-		}
-		if !found {
-			for _, m := range n.inbox {
-				if depends(m.Add) {
-					found = true
-					break
-				}
-			}
-		}
-		if !found {
-			for _, ms := range n.in {
-				for _, m := range ms {
-					if depends(m.Add) {
-						found = true
-						break
-					}
-				}
-				if found {
-					break
-				}
-			}
-		}
-		if found {
-			nw.markDirtyIdx(uint32(slot))
-		}
-	}
 }
 
 // nodeResult carries one peer's delayed effects out of the parallel
@@ -1030,6 +1064,9 @@ func (nw *Network) wakeDependents(owners map[ident.ID]bool, refs map[ref.Ref]boo
 type nodeResult struct {
 	out          []Message
 	made, killed int
+	// hchanged reports whether the peer's content hashes changed over
+	// the run: the settle decision (see hash.go).
+	hchanged bool
 }
 
 // Snapshot is a deep copy of the network state at a round boundary,

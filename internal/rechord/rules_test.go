@@ -28,6 +28,8 @@ func (f *fx) run(x float64) nodeResult {
 	// incrementally maintained caches are rebuilt wholesale.
 	f.nw.rebuildLevels()
 	f.nw.rebuildView()
+	f.nw.rebuildHashes()
+	f.nw.rebuildDeps()
 	return f.nw.runRules(f.peer(x), nil)
 }
 

@@ -1,0 +1,79 @@
+package scaletable
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAppendSortsAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "SCALE.json")
+	for _, e := range []Entry{
+		{N: 65536, Model: "sync", Rounds: 40, WallSeconds: 120},
+		{N: 2048, Model: "sync", Rounds: 12, WallSeconds: 2.5, BytesPerPeer: 30000},
+		{N: 8192, Model: "async", Rounds: 90000, WallSeconds: 60},
+		{N: 65536, Model: "sync", Rounds: 38, WallSeconds: 110}, // re-run replaces
+	} {
+		if err := Append(path, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	es, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 3 {
+		t.Fatalf("got %d entries, want 3 (re-run must replace): %+v", len(es), es)
+	}
+	want := []struct {
+		model string
+		n     int
+	}{{"async", 8192}, {"sync", 2048}, {"sync", 65536}}
+	for i, w := range want {
+		if es[i].Model != w.model || es[i].N != w.n {
+			t.Errorf("entry %d = %s/%d, want %s/%d", i, es[i].Model, es[i].N, w.model, w.n)
+		}
+	}
+	if es[2].Rounds != 38 {
+		t.Errorf("sync/65536 rounds = %d, want the re-run's 38", es[2].Rounds)
+	}
+}
+
+func TestLoadMissingFileIsEmpty(t *testing.T) {
+	es, err := Load(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil || es != nil {
+		t.Fatalf("missing file: got (%v, %v), want (nil, nil)", es, err)
+	}
+}
+
+func TestRecordEnv(t *testing.T) {
+	t.Setenv("SCALE_JSON", "")
+	if err := RecordEnv(Entry{N: 1, Model: "sync"}); err != nil {
+		t.Fatalf("unset SCALE_JSON must be a no-op: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "SCALE.json")
+	t.Setenv("SCALE_JSON", path)
+	if err := RecordEnv(Entry{N: 4096, Model: "sync", Rounds: 20, WallSeconds: 9}); err != nil {
+		t.Fatal(err)
+	}
+	es, err := Load(path)
+	if err != nil || len(es) != 1 || es[0].N != 4096 {
+		t.Fatalf("got (%+v, %v), want the recorded rung", es, err)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := Markdown([]Entry{
+		{N: 2048, Model: "sync", Rounds: 12, WallSeconds: 2.5, BytesPerPeer: 30000},
+		{N: 8192, Model: "async", Rounds: 90000, WallSeconds: 60.2},
+	})
+	for _, want := range []string{
+		"| n | model | settle rounds | wall time | bytes/peer |",
+		"| 2048 | sync | 12 | 2.5s | 30000 |",
+		"| 8192 | async | 90000 | 1m0.2s | — |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
