@@ -10,6 +10,7 @@ import (
 	"repro/internal/churn"
 	"repro/internal/dht"
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/rechord"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -55,6 +56,11 @@ type Cluster struct {
 	fallbacks atomic.Int64
 	closed    atomic.Bool
 	bus       eventBus
+
+	// met is the cluster's long-lived serving-path metrics set, shared
+	// by the facade KV methods and every RunWorkload call so Metrics()
+	// accumulates across runs. It is read without mu; see Metrics.
+	met *obs.WorkloadMetrics
 }
 
 // failoverResolver routes through the epoch-cached table router and
@@ -108,6 +114,10 @@ func New(opts ...Option) (*Cluster, error) {
 	}
 
 	c := &Cluster{cfg: cfg, nw: nw, rng: rng, homes: nw.Peers()}
+	// Histogram shards cover the widest worker pool a workload run may
+	// use plus the facade's own slot; extra shards only cost idle
+	// zero-value histograms.
+	c.met = obs.NewWorkloadMetrics(8, "get", "put", "delete", "lookup")
 	c.sched = nw
 	if cfg.async {
 		// The asynchronous scheduler draws from its own seed-derived
@@ -362,7 +372,8 @@ func (c *Cluster) Put(ctx context.Context, key, value string) error {
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	_, _, err := c.store.Put(c.home(), key, value)
+	_, hops, err := c.store.Put(c.home(), key, value)
+	c.observeKV(opPut, hops, err)
 	return opError("put", key, err)
 }
 
@@ -375,7 +386,8 @@ func (c *Cluster) Get(ctx context.Context, key string) (string, error) {
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	v, _, err := c.store.Get(c.home(), key)
+	v, hops, err := c.store.Get(c.home(), key)
+	c.observeKV(opGet, hops, err)
 	return v, opError("get", key, err)
 }
 
@@ -386,7 +398,8 @@ func (c *Cluster) Delete(ctx context.Context, key string) (bool, error) {
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	existed, _, err := c.store.Delete(c.home(), key)
+	existed, hops, err := c.store.Delete(c.home(), key)
+	c.observeKV(opDelete, hops, err)
 	return existed, opError("delete", key, err)
 }
 
@@ -400,6 +413,7 @@ func (c *Cluster) Lookup(ctx context.Context, key string) (PeerID, int, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	owner, hops, err := c.store.ResolveKey(c.home(), key)
+	c.observeKV(opLookup, hops, err)
 	if err != nil {
 		return 0, hops, opError("lookup", key, err)
 	}
@@ -477,9 +491,10 @@ func (c *Cluster) InFlight() int {
 	return c.sched.InFlight()
 }
 
-// Metrics returns the current topology snapshot: real and virtual node
-// counts and per-kind edge counts.
-func (c *Cluster) Metrics() RoundMetrics {
+// Topology returns the current topology snapshot: real and virtual
+// node counts and per-kind edge counts. (Telemetry counters moved to
+// Metrics, which returns the structured MetricsSnapshot.)
+func (c *Cluster) Topology() RoundMetrics {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return sim.Measure(c.nw)

@@ -167,6 +167,8 @@ func (c *Cluster) RunWorkload(ctx context.Context, cfg WorkloadConfig) (*Workloa
 		Seed:          cfg.Seed,
 		Rate:          cfg.Rate,
 		NoCache:       !c.cfg.routerCache,
+		Cache:         c.cache,
+		Obs:           c.met,
 		Churn: workload.ChurnConfig{
 			Events:    cfg.ChurnEvents,
 			EveryOps:  cfg.ChurnEveryOps,

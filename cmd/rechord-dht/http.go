@@ -1,0 +1,49 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/cluster"
+)
+
+// obsMux builds the observability endpoint for a live cluster:
+// /metrics serves the structured telemetry snapshot as JSON, and
+// /debug/pprof the standard Go profiling handlers. Both are safe to
+// scrape while a workload runs — the snapshot is lock-free by
+// contract, so a scrape never blocks the serving path.
+func obsMux(c *cluster.Cluster) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(c.Metrics()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	// The default pprof handlers register on http.DefaultServeMux; on
+	// a private mux each one is wired explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// serveObs starts the observability server on addr and returns the
+// bound address (addr may end in :0) and a stop function. The server
+// runs for the lifetime of the process's run — demo and workload modes
+// both stay scrapeable while they execute.
+func serveObs(c *cluster.Cluster, addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: obsMux(c)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

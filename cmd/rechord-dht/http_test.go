@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/cluster"
+)
+
+// TestObsEndpointDuringWorkload pins the acceptance contract: the
+// /metrics and /debug/pprof endpoints answer while a workload holds
+// the cluster's operation lock, because the snapshot path is
+// lock-free.
+func TestObsEndpointDuringWorkload(t *testing.T) {
+	c, err := cluster.New(cluster.WithSize(16), cluster.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(obsMux(c))
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var runErr error
+	go func() {
+		defer wg.Done()
+		_, runErr = c.RunWorkload(context.Background(),
+			cluster.WorkloadConfig{Ops: 5000, Preload: 256, Seed: 1})
+	}()
+
+	var snap cluster.MetricsSnapshot
+	for i := 0; i < 20; i++ {
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/metrics status %d", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatalf("/metrics is not the snapshot JSON: %v", err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+
+	wg.Wait()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	// After the run, a final scrape reflects it.
+	resp2, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Workload.Ops == 0 {
+		t.Fatal("post-run snapshot shows no ops")
+	}
+	if snap.Engine.Steps == 0 {
+		t.Fatal("post-run snapshot shows no engine steps")
+	}
+}
+
+// TestRunHTTPFlag wires the -http flag end to end: the demo run binds
+// the observability server and reports where.
+func TestRunHTTPFlag(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-n", "12", "-keys", "20", "-churn", "1", "-seed", "2", "-http", "127.0.0.1:0"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "observability: http://127.0.0.1:") {
+		t.Errorf("output missing observability banner:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "trace key") {
+		t.Errorf("output missing lookup trace:\n%s", out.String())
+	}
+}

@@ -55,6 +55,7 @@ func run(args []string, stdout io.Writer) error {
 		model   = fs.String("model", "sync", "execution model: sync or async (re-stabilization under the asynchronous adversary)")
 		asyncP  = fs.Float64("async-p", 0.5, "async: per-step activation probability in (0, 1]")
 		delay   = fs.String("delay", "", "async: message delay model (uniform:MAX, geometric:P[:MAX], pareto:ALPHA[:MAX]; empty = delay 1)")
+		httpOn  = fs.String("http", "", "serve /metrics (JSON) and /debug/pprof on this address (e.g. :8080) for the run's lifetime")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -111,6 +112,15 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	defer c.Close()
+
+	if *httpOn != "" {
+		addr, stop, err := serveObs(c, *httpOn)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(stdout, "observability: http://%s/metrics and /debug/pprof\n", addr)
+	}
 
 	if *mode == "demo" {
 		return runDemo(c, stdout, *keys, *events)
@@ -223,12 +233,12 @@ func runDemo(c *cluster.Cluster, stdout io.Writer, keys, events int) error {
 	}
 	fmt.Fprintf(stdout, "all %d keys retrievable after churn; %d peers remain\n", keys, c.Size())
 
-	// Show one lookup and what the event stream saw.
-	owner, pathHops, err := c.Lookup(ctx, "object-0000")
+	// Show one traced lookup and what the event stream saw.
+	tr, err := c.TraceLookup(ctx, "object-0000")
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "lookup %q: owner %s in %d hops\n", "object-0000", owner, pathHops)
+	fmt.Fprintf(stdout, "trace %s\n", tr)
 	counts := map[string]int{}
 	for len(stream) > 0 {
 		counts[(<-stream).Kind.String()]++

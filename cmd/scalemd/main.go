@@ -9,12 +9,13 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/scaletable"
 )
 
-func run(args []string, stdout *os.File) error {
+func run(args []string, stdout io.Writer) error {
 	path := "SCALE.json"
 	if len(args) > 0 {
 		path = args[0]

@@ -48,7 +48,7 @@ func main() {
 
 	// ... which contains Chord as a subgraph (Fact 2.1): peers, their
 	// ring successors, and all fingers.
-	m := c.Metrics()
+	m := c.Topology()
 	fmt.Printf("%d real nodes simulate %d virtual nodes; %d unmarked, %d ring, %d connection edges\n",
 		m.RealNodes, m.VirtualNodes, m.UnmarkedEdges, m.RingEdges, m.ConnectionEdges)
 

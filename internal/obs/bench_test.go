@@ -1,0 +1,25 @@
+package obs
+
+import "testing"
+
+// BenchmarkObsHotPath is the telemetry layer's own regression gate,
+// diffed by CI's bench-diff job with allocs pinned at zero: one
+// counter add, one gauge move, and one sharded-histogram observation
+// — the per-operation cost the workload engine pays — must stay
+// allocation-free and a handful of nanoseconds.
+func BenchmarkObsHotPath(b *testing.B) {
+	var c Counter
+	var g Gauge
+	sh := NewShardedHist(4)
+	for s := 0; s < 4; s++ {
+		sh.Observe(s, 1023) // pre-grow every shard's bucket slice off the timed path
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Add(1)
+		sh.Observe(i, float64(i&1023))
+		g.Add(-1)
+	}
+}

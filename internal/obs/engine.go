@@ -1,0 +1,114 @@
+package obs
+
+// NumRules is the number of protocol rules the engine instruments
+// (Re-Chord rules 1-6).
+const NumRules = 6
+
+// RuleNames keys the per-rule firing counters in snapshots, in rule
+// order: 1 virtual-nodes, 2 overlapping-neighborhood, 3
+// closest-real-neighbor, 4 linearization, 5 ring-edges, 6
+// connection-edges.
+var RuleNames = [NumRules]string{
+	"virtual_nodes",
+	"overlapping_neighborhood",
+	"closest_real_neighbor",
+	"linearization",
+	"ring_edges",
+	"connection_edges",
+}
+
+// EngineMetrics is the round/async engine's counter set. One instance
+// lives inside every rechord.Network (always on); the engine tallies
+// into plain batch-local integers and flushes each counter with one
+// atomic add per non-quiescent batch, so a quiescent Step costs
+// exactly one atomic increment (Steps). The zero value is ready to
+// use.
+type EngineMetrics struct {
+	// Steps counts every scheduler step, quiescent ones included
+	// (synchronous rounds and asynchronous time steps alike).
+	Steps Counter
+	// Batches counts non-quiescent steps: steps whose frontier was
+	// non-empty and that therefore ran the three-phase barrier.
+	Batches Counter
+	// Activated counts peer rule executions (frontier size summed over
+	// batches).
+	Activated Counter
+	// Woken counts clean peers dirtied by the inverted dependency
+	// index after a batch published changes.
+	Woken Counter
+	// Delivered counts messages applied at delivery time: one-shot
+	// inbox entries plus standing-bucket messages read in phase 1.
+	Delivered Counter
+	// Settled / Unsettled count the per-peer settle decisions at the
+	// barrier: a settled peer reached a local fixed point and leaves
+	// the frontier; an unsettled one stays dirty.
+	Settled   Counter
+	Unsettled Counter
+	// EpochBumps counts routing-epoch invalidations published by
+	// state-changing peers (what forces routing-table rebuilds).
+	EpochBumps Counter
+	// AsyncDeliveries counts delivery events fired by the asynchronous
+	// scheduler (0 under the synchronous engine).
+	AsyncDeliveries Counter
+	// RuleFired counts protocol actions per rule, indexed like
+	// RuleNames: messages sent by the rule, plus rule 1's virtual-node
+	// creations/removals and rule 2's immediate edge handoffs.
+	RuleFired [NumRules]Counter
+	// Per-phase barrier wall-clock, in nanoseconds per batch. Deliver
+	// is phase 1 (inbox/bucket application and reference purging),
+	// Execute is phase 2 (the parallel rule run), Reroute is the time
+	// phase 3 spends inside the scheduler's route callback, and
+	// Publish is the rest of phase 3 (view/owner diffs, settle
+	// bookkeeping, dependent wakes) — the ROADMAP's "serial
+	// publish/reroute phase", now a measured series.
+	PhaseDeliver Hist
+	PhaseExecute Hist
+	PhasePublish Hist
+	PhaseReroute Hist
+}
+
+// EngineSnapshot is the JSON form of EngineMetrics.
+type EngineSnapshot struct {
+	Steps           uint64                 `json:"steps"`
+	QuiescentSteps  uint64                 `json:"quiescent_steps"`
+	Batches         uint64                 `json:"batches"`
+	Activated       uint64                 `json:"activated"`
+	Woken           uint64                 `json:"woken"`
+	Delivered       uint64                 `json:"delivered"`
+	Settled         uint64                 `json:"settled"`
+	Unsettled       uint64                 `json:"unsettled"`
+	EpochBumps      uint64                 `json:"epoch_bumps"`
+	AsyncDeliveries uint64                 `json:"async_deliveries"`
+	RuleFired       map[string]uint64      `json:"rule_fired"`
+	PhaseNS         map[string]HistSummary `json:"phase_ns"`
+}
+
+// Snapshot digests the counters. Safe to call concurrently with the
+// engine stepping; counters are read individually, so the snapshot is
+// per-field atomic, not a global cut.
+func (m *EngineMetrics) Snapshot() EngineSnapshot {
+	steps := m.Steps.Value()
+	batches := m.Batches.Value()
+	s := EngineSnapshot{
+		Steps:           steps,
+		QuiescentSteps:  steps - batches,
+		Batches:         batches,
+		Activated:       m.Activated.Value(),
+		Woken:           m.Woken.Value(),
+		Delivered:       m.Delivered.Value(),
+		Settled:         m.Settled.Value(),
+		Unsettled:       m.Unsettled.Value(),
+		EpochBumps:      m.EpochBumps.Value(),
+		AsyncDeliveries: m.AsyncDeliveries.Value(),
+		RuleFired:       make(map[string]uint64, NumRules),
+		PhaseNS:         make(map[string]HistSummary, 4),
+	}
+	for i := range m.RuleFired {
+		s.RuleFired[RuleNames[i]] = m.RuleFired[i].Value()
+	}
+	s.PhaseNS["deliver"] = m.PhaseDeliver.Summary()
+	s.PhaseNS["execute"] = m.PhaseExecute.Summary()
+	s.PhaseNS["publish"] = m.PhasePublish.Summary()
+	s.PhaseNS["reroute"] = m.PhaseReroute.Summary()
+	return s
+}

@@ -461,11 +461,16 @@ func (a *AsyncRunner) Step() RoundStats {
 	a.step++
 	now := a.step
 	nw := a.nw
+	nw.met.Steps.Inc()
 	stats := RoundStats{Round: now}
 	changed := false
 
 	// Fire due events: deliveries land in the recipients' inboxes and
-	// wake them; due activations form this step's batch.
+	// wake them; due activations form this step's batch. Delivery
+	// events are tallied locally and flushed with one atomic add below
+	// — a quiescent step (empty heap, empty frontier) pays only the
+	// Steps increment above.
+	fired := 0
 	active := a.active[:0]
 	for len(a.events) > 0 && a.events[0].at <= now {
 		ev := heap.Pop(&a.events).(*asyncEvent)
@@ -473,6 +478,7 @@ func (a *AsyncRunner) Step() RoundStats {
 		case evDelivery:
 			a.deliveries--
 			a.inflight -= len(ev.msgs)
+			fired++
 			if dst, slot, ok := a.eventTarget(ev); ok {
 				a.mixEvent(evDelivery, ev.at, ev.peer)
 				dst.inbox = append(dst.inbox, ev.msgs...)
@@ -525,6 +531,9 @@ func (a *AsyncRunner) Step() RoundStats {
 	// revocations, wakeDependents) flip their first coin next step.
 	a.drainFrontier(now+1, nil)
 
+	if fired > 0 {
+		nw.met.AsyncDeliveries.Add(uint64(fired))
+	}
 	if changed {
 		a.lastChange = now
 	}

@@ -8,39 +8,52 @@
 // removed the last two per-barrier terms that scaled with n instead
 // of with the frontier. The runs are single-core
 // memory-bandwidth-bound (every active round sweeps every active
-// peer's standing flow), so the tests live in their own package where
-// TestMain below widens the binary's deadline, and never crowd the
-// rest of the largescale suite.
+// peer's standing flow), so the tests live in their own package and
+// never crowd the rest of the largescale suite; the multi-minute
+// rungs budget-check the binary's deadline (see needBudget) and skip
+// when it cannot fit them, so a plain `go test ./...` stays green at
+// the go tool's 10-minute default.
 package compact
 
 import (
 	"context"
-	"flag"
 	"math/rand"
-	"os"
 	"runtime"
 	"testing"
 	"time"
 
+	"math"
+
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/rechord"
+	"repro/internal/routing"
 	"repro/internal/scaletable"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/topogen"
 )
 
-// TestMain widens this binary's deadline when it is still at the go
-// tool's injected default: the n=131072 settle alone is tens of
-// minutes of single-core, memory-bandwidth-bound work on a slow or
-// contended machine, and `go test ./...` must not flake at the
-// 10-minute default. An explicitly chosen non-default -timeout is
-// respected.
-func TestMain(m *testing.M) {
-	flag.Parse()
-	if f := flag.Lookup("test.timeout"); f != nil && f.Value.String() == "10m0s" {
-		f.Value.Set("120m0s")
+// needBudget skips the calling test when the binary's deadline cannot
+// fit it. A test binary cannot widen its own budget (an earlier
+// revision reset the test.timeout flag from TestMain): the go tool
+// enforces -timeout from outside the process too, sending SIGQUIT one
+// minute past the deadline it injected, so the only honest move is to
+// measure the time remaining via t.Deadline and skip rungs that will
+// not finish. A plain `go test ./...` therefore passes at the
+// 10-minute default with the scale rungs skipped, and an explicit
+// generous -timeout (or -timeout=0) unlocks them — that is how the
+// full ladder is run by hand or by a scheduled job.
+func needBudget(t *testing.T, need time.Duration) {
+	t.Helper()
+	deadline, ok := t.Deadline()
+	if !ok {
+		return // -timeout=0: no deadline
 	}
-	os.Exit(m.Run())
+	if remain := time.Until(deadline); remain < need {
+		t.Skipf("rung needs ~%v of single-core settle work but the test binary's deadline is %v away; rerun with -timeout=150m (or -timeout=0) to include it",
+			need, remain.Round(time.Second))
+	}
 }
 
 // record appends a rung to the SCALE_JSON ladder (no-op unless CI
@@ -50,6 +63,42 @@ func record(t *testing.T, e scaletable.Entry) {
 	t.Helper()
 	if err := scaletable.RecordEnv(e); err != nil {
 		t.Errorf("recording scale entry: %v", err)
+	}
+}
+
+// recordMetrics dumps the rung's full telemetry snapshot to the
+// METRICS_JSON artifact (no-op unless CI exports the variable): the
+// engine counters and per-phase barrier timings accumulated by the
+// settle, plus a lookup-hop histogram from a post-settle sample of
+// routed lookups — which is also sanity-checked against the O(log n)
+// hop bound the table router guarantees on the stable topology.
+func recordMetrics(t *testing.T, label string, nw *rechord.Network, ids []ident.ID, rng *rand.Rand) {
+	t.Helper()
+	const sample = 256
+	cache := routing.NewCache(nw)
+	var hops stats.Histogram
+	for i := 0; i < sample; i++ {
+		from := ids[rng.Intn(len(ids))]
+		_, h, err := cache.Route(from, ident.ID(rng.Uint64()))
+		if err != nil {
+			t.Fatalf("sample lookup: %v", err)
+		}
+		hops.Observe(float64(h))
+	}
+	logN := math.Log2(float64(len(ids)))
+	if mean := hops.Mean(); mean > 4*logN {
+		t.Errorf("sampled lookups average %.1f hops at n=%d, not ~log n (%.1f)", mean, len(ids), logN)
+	}
+	t.Logf("%s: %d sampled lookups, mean %.2f hops (log2 n = %.1f), p99 %.0f",
+		label, sample, hops.Mean(), logN, hops.Percentile(99))
+
+	snap := obs.Snapshot{Engine: nw.Obs().Snapshot()}
+	snap.Routing.CacheHits, snap.Routing.CacheMisses = cache.Stats()
+	snap.Routing.CacheInvalidations = cache.Invalidations()
+	snap.Routing.CacheEntries = cache.Len()
+	snap.Routing.LookupHops = obs.SummarizeHist(&hops)
+	if err := obs.RecordEnv(label, snap); err != nil {
+		t.Errorf("recording metrics snapshot: %v", err)
 	}
 }
 
@@ -133,6 +182,7 @@ func TestCompactHandleSmoke(t *testing.T) {
 	if err := rechord.ComputeIdeal(ids).Matches(nw); err != nil {
 		t.Fatalf("n=%d converged to wrong state: %v", n, err)
 	}
+	recordMetrics(t, "sync-n2048", nw, ids, rand.New(rand.NewSource(7)))
 	churnAndReconverge(t, nw, ids, rand.New(rand.NewSource(99)))
 }
 
@@ -151,6 +201,9 @@ func TestN131072ConvergesToIdeal(t *testing.T) {
 	if testing.Short() {
 		t.Skip("n=131072 convergence skipped with -short (see TestCompactHandleSmoke for the CI tier)")
 	}
+	// ~67 minutes measured on the reference machine; demand headroom
+	// for slower or contended ones.
+	needBudget(t, 90*time.Minute)
 	const n = 131072
 	nw, ids, perPeer := settle(t, n)
 	if err := rechord.ComputeIdeal(ids).Matches(nw); err != nil {
@@ -196,6 +249,8 @@ func TestAsyncN8192ConvergesToIdeal(t *testing.T) {
 	if testing.Short() {
 		t.Skip("n=8192 async convergence skipped with -short")
 	}
+	// ~4 minutes measured on the reference machine.
+	needBudget(t, 15*time.Minute)
 	const n = 8192
 	rng := rand.New(rand.NewSource(int64(n)))
 	ids := topogen.RandomIDs(n, rng)
@@ -215,6 +270,7 @@ func TestAsyncN8192ConvergesToIdeal(t *testing.T) {
 	wall := time.Since(start)
 	t.Logf("n=%d: settled in %d async steps, %v", n, res.Rounds, wall)
 	record(t, scaletable.Entry{N: n, Model: "async", Rounds: res.Rounds, WallSeconds: wall.Seconds()})
+	recordMetrics(t, "async-n8192", nw, ids, rng)
 
 	// Quiescent async steps stay frontier-proportional at this scale.
 	start = time.Now()

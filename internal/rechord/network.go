@@ -6,9 +6,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/ref"
 )
 
@@ -150,7 +152,19 @@ type Network struct {
 	// Replaces two maps per rerouted peer per round; group buffers are
 	// recycled across calls.
 	rrGroups []rrGroup
+
+	// met is the engine's always-on telemetry (shared with any
+	// AsyncRunner driving this network). The hot-path contract: a
+	// quiescent Step adds exactly one atomic increment; a non-quiescent
+	// batch tallies into plain integers and flushes one atomic add per
+	// counter at the barrier. Embedded by value so a zero-constructed
+	// Network is still safe to step.
+	met obs.EngineMetrics
 }
+
+// Obs returns the engine's telemetry counters. The returned metrics
+// are live and safe to read concurrently with stepping.
+func (nw *Network) Obs() *obs.EngineMetrics { return &nw.met }
 
 // rrGroup is one recipient's slice of a rerouted output.
 type rrGroup struct {
@@ -546,7 +560,8 @@ func (nw *Network) purge(n *RealNode) {
 // closest surviving virtual node u_m, per rule 1's merge semantics.
 // Delivery is a commutative, idempotent set-union, so the iteration
 // order over buckets does not matter.
-func (nw *Network) deliver(n *RealNode) {
+func (nw *Network) deliver(n *RealNode) int {
+	delivered := len(n.inbox)
 	apply := func(msg Message) {
 		var v *VNode
 		if msg.To.Level < len(n.vnodes) {
@@ -569,10 +584,12 @@ func (nw *Network) deliver(n *RealNode) {
 	}
 	n.inbox = n.inbox[:0]
 	for _, ms := range n.in {
+		delivered += len(ms)
 		for _, msg := range ms {
 			apply(msg)
 		}
 	}
+	return delivered
 }
 
 // workerPool is a persistent set of goroutines executing the parallel
@@ -610,6 +627,7 @@ func (nw *Network) ensurePool(workers int) *workerPool {
 // paper's literal schedule.
 func (nw *Network) Step() RoundStats {
 	nw.round++
+	nw.met.Steps.Inc()
 	stats := RoundStats{Round: nw.round}
 
 	if nw.cfg.FullSweep {
@@ -682,6 +700,7 @@ func (nw *Network) sortSlotsByID(slots []uint32) {
 // kept: every executed peer is re-stamped and none leaves the frontier
 // early.
 func (nw *Network) runBatch(active []uint32, settle bool, route func(n *RealNode, out []Message, outChanged, stateChanged bool), stats *RoundStats) bool {
+	t0 := time.Now()
 	// Phase 1 (serial): deliver and purge the active peers, keeping a
 	// pre-round copy of their own state for the settle check.
 	if cap(nw.results) < len(active) {
@@ -752,7 +771,7 @@ func (nw *Network) runBatch(active []uint32, settle bool, route func(n *RealNode
 			// even when the peer's own state ends up unchanged.
 			anyInbox.Store(true)
 		}
-		nw.deliver(n)
+		results[i].delivered = nw.deliver(n)
 		nw.purge(n)
 	}
 	if workers <= 1 {
@@ -765,37 +784,53 @@ func (nw *Network) runBatch(active []uint32, settle bool, route func(n *RealNode
 	if anyInbox.Load() {
 		changed = true
 	}
+	tDeliver := time.Now()
 
 	// Phase 2 (parallel): run rules 1-6 on the active peers, then
 	// recompute each peer's content hashes — hchanged is the settle
 	// decision. Each peer reads only its own state and the immutable
 	// view of published rl/rr values (the hash refresh writes only the
-	// peer's own vhash slot), so execution order is irrelevant.
+	// peer's own vhash slot), so execution order is irrelevant. The
+	// phase-1 delivery tally rides through the overwrite.
 	if workers <= 1 {
 		for i, slot := range active {
 			n := nw.pt.nodes[slot]
+			d := results[i].delivered
 			results[i] = nw.runRules(n, n.scratch.out[:0])
+			results[i].delivered = d
 			results[i].hchanged = nw.refreshHashSlot(slot, n)
 		}
 	} else {
 		runOnPool(func(i int) {
 			n := nw.pt.nodes[active[i]]
+			d := results[i].delivered
 			results[i] = nw.runRules(n, n.scratch.out[:0])
+			results[i].delivered = d
 			results[i].hchanged = nw.refreshHashSlot(active[i], n)
 		})
 	}
+	tExecute := time.Now()
 
 	// Phase 3 (serial barrier): publish level and rl/rr changes, route
 	// changed outputs into the recipients' standing buckets, and settle
 	// peers whose round was a no-op.
 	var viewChanged map[ref.Ref]bool
 	var ownerChanged map[ident.ID]bool
+	// Batch-local telemetry tallies: plain integers here, one atomic
+	// add per counter at the barrier flush below.
+	var ruleFired [obs.NumRules]uint64
+	var deliveredN, settledN, unsettledN, epochBumpN int
+	var rerouteNS time.Duration
 	for i, slot := range active {
 		n := nw.pt.nodes[slot]
 		id := n.id
 		res := results[i]
 		stats.VirtualMade += res.made
 		stats.VirtualKilled += res.killed
+		deliveredN += res.delivered
+		for k, f := range res.fired {
+			ruleFired[k] += uint64(f)
+		}
 
 		// Publish the peer's level so other peers' purges detect stale
 		// references to its deleted virtual nodes.
@@ -860,24 +895,31 @@ func (nw *Network) runBatch(active []uint32, settle bool, route func(n *RealNode
 		}
 		out := res.out
 		outChanged := !sameMessages(out, n.lastOut)
+		rt := time.Now()
 		route(n, out, outChanged, stateChanged)
+		rerouteNS += time.Since(rt)
 		if outChanged {
 			changed = true
 		}
 		if settle {
 			if stateChanged {
 				nw.bumpEpoch(n)
+				epochBumpN++
 			}
 			if outChanged || stateChanged {
 				// Not a local fixed point yet: stay on the frontier.
 				nw.markDirtyIdx(slot)
 				changed = true
+				unsettledN++
+			} else {
+				settledN++
 			}
 		} else {
 			// The full sweep keeps no pre-round copy to diff against, so
 			// every executed peer is stamped (conservative: epoch-keyed
 			// caches rebuild each round but never serve stale state).
 			nw.bumpEpoch(n)
+			epochBumpN++
 		}
 		// lastOut takes ownership of the content; the scratch buffer is
 		// recycled for the peer's next run. Both are right-sized when
@@ -903,8 +945,11 @@ func (nw *Network) runBatch(active []uint32, settle bool, route func(n *RealNode
 		results[i] = nodeResult{} // release the output alias
 	}
 
+	woken := 0
 	if len(ownerChanged) > 0 || len(viewChanged) > 0 {
+		fBefore := len(nw.frontier)
 		nw.wakeDependents(ownerChanged, viewChanged)
+		woken = len(nw.frontier) - fBefore
 	}
 	// Drop the batch arrays (and the vnode clones pinned by the settle
 	// buffers) once the frontier has contracted well below their
@@ -913,6 +958,30 @@ func (nw *Network) runBatch(active []uint32, settle bool, route func(n *RealNode
 	if len(active)*4 < cap(nw.results) {
 		nw.results, nw.pres = nil, nil
 	}
+
+	// Barrier flush: one atomic add per counter for the whole batch.
+	// The publish series is phase 3 minus the time spent inside the
+	// scheduler's route callback; it still includes the settle
+	// bookkeeping and the dependent wakes, which share the serial
+	// barrier with publishing.
+	m := &nw.met
+	m.Batches.Inc()
+	m.Activated.Add(uint64(len(active)))
+	m.Delivered.Add(uint64(deliveredN))
+	m.Settled.Add(uint64(settledN))
+	m.Unsettled.Add(uint64(unsettledN))
+	m.EpochBumps.Add(uint64(epochBumpN))
+	m.Woken.Add(uint64(woken))
+	for k, f := range ruleFired {
+		if f != 0 {
+			m.RuleFired[k].Add(f)
+		}
+	}
+	tEnd := time.Now()
+	m.PhaseDeliver.Observe(float64(tDeliver.Sub(t0)))
+	m.PhaseExecute.Observe(float64(tExecute.Sub(tDeliver)))
+	m.PhaseReroute.Observe(float64(rerouteNS))
+	m.PhasePublish.Observe(float64(tEnd.Sub(tExecute) - rerouteNS))
 	return changed
 }
 
@@ -1064,6 +1133,14 @@ func (nw *Network) dropBucket(dst *RealNode, alive bool, sender handle) bool {
 type nodeResult struct {
 	out          []Message
 	made, killed int
+	// delivered counts the messages phase 1 applied at this peer
+	// (one-shot inbox entries plus standing-bucket messages); fired
+	// tallies rules 1-6 actions from phase 2. Both are plain batch-local
+	// integers, summed serially at the barrier and flushed to the
+	// telemetry counters with one atomic add each — the hot path never
+	// touches shared state.
+	delivered int
+	fired     [obs.NumRules]uint32
 	// hchanged reports whether the peer's content hashes changed over
 	// the run: the settle decision (see hash.go).
 	hchanged bool

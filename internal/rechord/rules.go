@@ -9,10 +9,14 @@ import (
 // ruleContext carries one peer's in-round working state: the rules'
 // immediate assignments mutate the node directly, delayed assignments
 // append to res.out. The scratch buffers live on the RealNode, so a
-// peer's repeated executions do not reallocate them.
+// peer's repeated executions do not reallocate them. cur is the index
+// (0-based, obs.RuleNames order) of the rule currently executing, so
+// send can attribute each message to its rule with a plain local
+// increment.
 type ruleContext struct {
 	nw  *Network
 	n   *RealNode
+	cur int
 	res nodeResult
 }
 
@@ -22,6 +26,7 @@ func (c *ruleContext) send(to ref.Ref, k graph.Kind, add ref.Ref) {
 	if to == add {
 		return
 	}
+	c.res.fired[c.cur]++
 	c.res.out = append(c.res.out, Message{To: to, Kind: k, Add: add})
 }
 
@@ -32,14 +37,20 @@ func (c *ruleContext) send(to ref.Ref, k graph.Kind, add ref.Ref) {
 // can run concurrently.
 func (nw *Network) runRules(n *RealNode, buf []Message) nodeResult {
 	c := ruleContext{nw: nw, n: n, res: nodeResult{out: buf}}
+	c.cur = 0
 	c.ruleVirtualNodes()
+	c.cur = 1
 	c.ruleOverlappingNeighborhood()
+	c.cur = 2
 	c.ruleClosestRealNeighbor()
+	c.cur = 3
 	c.ruleLinearization()
 	if !nw.cfg.DisableRing {
+		c.cur = 4
 		c.ruleRingEdges()
 	}
 	if !nw.cfg.DisableConnection {
+		c.cur = 5
 		c.ruleConnectionEdges()
 	}
 	return c.res
@@ -59,6 +70,7 @@ func (c *ruleContext) ruleVirtualNodes() {
 		if n.VNode(i) == nil {
 			n.ensureLevel(i)
 			c.res.made++
+			c.res.fired[c.cur]++
 		}
 	}
 	// delete-virtualnodes: inform u_m of each deleted node's
@@ -78,6 +90,7 @@ func (c *ruleContext) ruleVirtualNodes() {
 			}
 		}
 		c.res.killed++
+		c.res.fired[c.cur]++
 		n.vnodes[l] = nil // release before the truncation below
 	}
 	n.vnodes = n.vnodes[:m+1]
@@ -134,6 +147,8 @@ func (c *ruleContext) ruleOverlappingNeighborhood() {
 				}
 			}
 			if found {
+				// An immediate intra-peer handoff is rule 2's action.
+				c.res.fired[c.cur]++
 				ui.Nu.Remove(w)
 				n.vnodes[best.Level].addNu(w)
 			}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/rechord"
 )
 
@@ -27,7 +28,42 @@ type TableSource func(id ident.ID) (*Table, error)
 // error, and callers that must survive churn fall back to the
 // state-walk Route, which tolerates partially repaired state.
 func RouteTables(tables TableSource, numPeers int, from, key ident.ID) (owner ident.ID, hops int, err error) {
+	return routeTables(tables, numPeers, from, key, nil)
+}
+
+// RouteTablesTraced is RouteTables with a per-lookup trace: the
+// visited path is recorded hop by hop, so obs.PathHops(tr.Path)
+// always equals the returned hop count — the single definition both
+// the table lookup and the state-walk Route report through (hops =
+// inter-peer forwards; the terminal owner is known to, not forwarded
+// by, the last visited peer). A nil trace is the untraced fast path.
+func RouteTablesTraced(tables TableSource, numPeers int, from, key ident.ID, tr *obs.LookupTrace) (owner ident.ID, hops int, err error) {
+	owner, hops, err = routeTables(tables, numPeers, from, key, tr)
+	if tr != nil && err != nil {
+		tr.Err = err.Error()
+	}
+	return owner, hops, err
+}
+
+func routeTables(tables TableSource, numPeers int, from, key ident.ID, tr *obs.LookupTrace) (owner ident.ID, hops int, err error) {
 	cur := from
+	if tr != nil {
+		tr.From, tr.Key = from, key
+		tr.Path = append(tr.Path[:0], from)
+	}
+	arrive := func(owner ident.ID) (ident.ID, int, error) {
+		if tr != nil {
+			tr.Owner = owner
+		}
+		return owner, hops, nil
+	}
+	forward := func(to ident.ID) {
+		cur = to
+		hops++
+		if tr != nil {
+			tr.Path = append(tr.Path, to)
+		}
+	}
 	limit := 8*numPeers + 16
 	// A lookup stranded in the top identifier segment — where rr, being
 	// linear, leaves the uppermost peer without a successor — switches
@@ -51,20 +87,20 @@ func RouteTables(tables TableSource, numPeers int, from, key ident.ID) (owner id
 	floor := ^ident.ID(0)
 	for iter := 0; iter <= limit; iter++ {
 		if key == cur || numPeers == 1 {
-			return cur, hops, nil
+			return arrive(cur)
 		}
 		t, err := tables(cur)
 		if err != nil {
 			return 0, hops, err
 		}
 		if t.HasWrap && ident.InRightHalfOpen(key, t.WrapFrom, t.WrapTo) {
-			return t.WrapOwner, hops, nil
+			return arrive(t.WrapOwner)
 		}
 		// Termination on the successor interval applies in both modes: a
 		// descent can land on the peer just below the key's owner (the
 		// global minimum peer, when the key sits right above it).
 		if t.HasSucc && ident.InRightHalfOpen(key, cur, t.Successor) {
-			return t.Successor, hops, nil
+			return arrive(t.Successor)
 		}
 		if !descending {
 			var best ident.ID
@@ -73,7 +109,7 @@ func RouteTables(tables TableSource, numPeers int, from, key ident.ID) (owner id
 				if c == key {
 					// A candidate sitting exactly on the key owns it
 					// (it is its own successor).
-					return c, hops, nil
+					return arrive(c)
 				}
 				if !ident.Between(c, cur, key) {
 					continue
@@ -83,15 +119,14 @@ func RouteTables(tables TableSource, numPeers int, from, key ident.ID) (owner id
 				}
 			}
 			if found {
-				cur = best
-				hops++
+				forward(best)
 				continue
 			}
 			descending = true
 		}
 		if t.OwnsMinNode {
 			if wrapped {
-				return t.MinNodeOwner, hops, nil
+				return arrive(t.MinNodeOwner)
 			}
 			// First arrival at the zero point: record the wrap owner and
 			// go back to greedy mode on this same peer's table.
@@ -104,12 +139,11 @@ func RouteTables(tables TableSource, numPeers int, from, key ident.ID) (owner id
 			// Stranded again after crossing zero: no real peer lies
 			// between zero and the key, so the key is in the wrap
 			// segment and belongs to the owner recorded there.
-			return wrapOwner, hops, nil
+			return arrive(wrapOwner)
 		}
 		if t.MinKnownOwner != cur && t.MinKnownID < floor {
 			floor = t.MinKnownID
-			cur = t.MinKnownOwner
-			hops++
+			forward(t.MinKnownOwner)
 			continue
 		}
 		// A correct table always lets the lookup either terminate or
@@ -159,6 +193,12 @@ type Cache struct {
 	slots []cacheEntry
 
 	hits, misses atomic.Uint64
+	// invalidations counts cached tables found stale at lookup time —
+	// the entry existed but its peer's generation or change epoch had
+	// moved. It is the churn-pressure signal: misses on never-cached
+	// slots are warmup, invalidations are rebuild work the network's
+	// mutations forced.
+	invalidations atomic.Uint64
 }
 
 // NewCache creates an empty cache over the network.
@@ -170,9 +210,16 @@ func NewCache(nw *rechord.Network) *Cache {
 // when the peer's change epoch moved since the cached copy was built.
 // The returned table is shared and must not be mutated.
 func (c *Cache) Table(id ident.ID) (*Table, error) {
+	t, _, err := c.table(id)
+	return t, err
+}
+
+// table is Table plus whether the fetch was served from the cache,
+// for per-lookup trace attribution.
+func (c *Cache) table(id ident.ID) (*Table, bool, error) {
 	slot, gen, epoch, ok := c.nw.PeerSlotEpoch(id)
 	if !ok {
-		return nil, fmt.Errorf("routing: unknown peer %s", id)
+		return nil, false, fmt.Errorf("routing: unknown peer %s", id)
 	}
 	c.mu.RLock()
 	var e cacheEntry
@@ -180,13 +227,16 @@ func (c *Cache) Table(id ident.ID) (*Table, error) {
 		e = c.slots[slot]
 	}
 	c.mu.RUnlock()
-	if e.table != nil && e.gen == gen && e.epoch == epoch {
-		c.hits.Add(1)
-		return e.table, nil
+	if e.table != nil {
+		if e.gen == gen && e.epoch == epoch {
+			c.hits.Add(1)
+			return e.table, true, nil
+		}
+		c.invalidations.Add(1)
 	}
 	t, err := TableOf(c.nw, id)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	c.misses.Add(1)
 	c.mu.Lock()
@@ -195,12 +245,33 @@ func (c *Cache) Table(id ident.ID) (*Table, error) {
 	}
 	c.slots[slot] = cacheEntry{gen: gen, epoch: epoch, table: t}
 	c.mu.Unlock()
-	return t, nil
+	return t, false, nil
 }
 
 // Route performs a table-based Chord lookup through the cache.
 func (c *Cache) Route(from, key ident.ID) (owner ident.ID, hops int, err error) {
 	return RouteTables(c.Table, c.nw.NumPeers(), from, key)
+}
+
+// RouteTraced is Route with a per-lookup trace: besides the visited
+// path, every table fetch along the lookup is attributed to the trace
+// as a cache hit or miss.
+func (c *Cache) RouteTraced(from, key ident.ID, tr *obs.LookupTrace) (owner ident.ID, hops int, err error) {
+	if tr == nil {
+		return c.Route(from, key)
+	}
+	src := func(id ident.ID) (*Table, error) {
+		t, hit, err := c.table(id)
+		if err == nil {
+			if hit {
+				tr.CacheHits++
+			} else {
+				tr.CacheMisses++
+			}
+		}
+		return t, err
+	}
+	return RouteTablesTraced(src, c.nw.NumPeers(), from, key, tr)
 }
 
 // Resolve is Route under the name the DHT's resolver plug expects.
@@ -247,6 +318,12 @@ func (c *Cache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
+// Invalidations returns how many cached tables were found stale at
+// lookup time since creation (a subset of the misses).
+func (c *Cache) Invalidations() uint64 {
+	return c.invalidations.Load()
+}
+
 // Walker adapts the state-walk Route (which hops along raw Re-Chord
 // edges and tolerates mid-stabilization state) to the same Resolve
 // shape as Cache, so the DHT and the workload engine can swap between
@@ -256,15 +333,27 @@ type Walker struct {
 }
 
 // Resolve routes from the home peer to the key's owner, returning the
-// number of inter-peer hops.
+// number of inter-peer hops (obs.PathHops of the walk's visited path
+// — the same definition RouteTables counts directly).
 func (w Walker) Resolve(from, key ident.ID) (owner ident.ID, hops int, err error) {
-	owner, path, err := Route(w.NW, from, key)
-	hops = len(path) - 1
-	if hops < 0 {
-		hops = 0
+	return w.ResolveTraced(from, key, nil)
+}
+
+// ResolveTraced is Resolve with a per-lookup trace carrying the
+// visited path. The state walk never consults the table cache, so the
+// trace's cache counters stay zero.
+func (w Walker) ResolveTraced(from, key ident.ID, tr *obs.LookupTrace) (owner ident.ID, hops int, err error) {
+	owner, path, routeErr := Route(w.NW, from, key)
+	if tr != nil {
+		tr.From, tr.Key, tr.Owner = from, key, owner
+		tr.Path = append(tr.Path[:0], path...)
+		if routeErr != nil {
+			tr.Err = routeErr.Error()
+		}
 	}
-	if err != nil {
-		return 0, hops, err
+	hops = obs.PathHops(path)
+	if routeErr != nil {
+		return 0, hops, routeErr
 	}
 	return owner, hops, nil
 }

@@ -36,6 +36,7 @@ import (
 	"repro/internal/churn"
 	"repro/internal/dht"
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/rechord"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -111,6 +112,19 @@ type Config struct {
 	NoCache bool
 	// Churn interleaves membership events with the traffic.
 	Churn ChurnConfig
+	// Cache, when non-nil (and NoCache unset), is the router cache to
+	// serve table lookups from instead of a fresh per-run one — the
+	// cluster facade injects its long-lived cache so hit/miss/
+	// invalidation telemetry spans the cache's whole life while the
+	// run's report stays a per-run delta.
+	Cache *routing.Cache
+	// Obs, when non-nil, receives live serving-path telemetry during
+	// the run (in-flight gauge, error taxonomy, sharded latency/hop
+	// histograms) in addition to the per-run Result. It must have at
+	// least numOps op slots, in OpGet/OpPut/OpDelete order; the
+	// cluster facade passes one long-lived set so metrics accumulate
+	// across runs and can be snapshotted mid-run without locks.
+	Obs *obs.WorkloadMetrics
 }
 
 // withDefaults validates and fills in defaults.
@@ -258,6 +272,10 @@ type engine struct {
 	opsDone   atomic.Int64
 	fallbacks atomic.Int64
 	deadline  time.Time
+
+	// Cache counters at run start, so the result reports a per-run
+	// delta even over an injected long-lived cache.
+	cacheHits0, cacheMisses0 uint64
 }
 
 // Run drives the workload against the scheduler's network and returns
@@ -290,12 +308,20 @@ func Run(ctx context.Context, sched rechord.Scheduler, cfg Config) (*Result, err
 	e := &engine{sched: sched, nw: nw, cfg: cfg}
 
 	var resolver dht.Resolver
+	var hits0, misses0 uint64
 	if cfg.NoCache {
 		resolver = routing.Walker{NW: nw}
 	} else {
-		e.cache = routing.NewCache(nw)
+		e.cache = cfg.Cache
+		if e.cache == nil {
+			e.cache = routing.NewCache(nw)
+		}
+		// The caller may hand in a long-lived, pre-warmed cache; the
+		// run's report stays a per-run delta either way.
+		hits0, misses0 = e.cache.Stats()
 		resolver = failoverResolver{cache: e.cache, walk: routing.Walker{NW: nw}, fallbacks: &e.fallbacks}
 	}
+	e.cacheHits0, e.cacheMisses0 = hits0, misses0
 	e.store = dht.NewWithResolver(nw, resolver)
 
 	homes := nw.Peers()
@@ -374,7 +400,8 @@ func Run(ctx context.Context, sched rechord.Scheduler, cfg Config) (*Result, err
 		res.Throughput = float64(res.Ops) / elapsed.Seconds()
 	}
 	if e.cache != nil {
-		res.CacheHits, res.CacheMisses = e.cache.Stats()
+		hits, misses := e.cache.Stats()
+		res.CacheHits, res.CacheMisses = hits-e.cacheHits0, misses-e.cacheMisses0
 	}
 	res.StoreFingerprint = e.store.Fingerprint()
 	res.StoreLen = e.store.Len()
@@ -421,6 +448,9 @@ func (e *engine) worker(ctx context.Context, w int, homes []ident.ID, start time
 		out.opsHash = fnvMix(out.opsHash, kind, idx)
 		hi := rng.Intn(len(homes))
 
+		if cfg.Obs != nil {
+			cfg.Obs.InFlight.Add(1)
+		}
 		t0 := time.Now()
 		e.netMu.RLock()
 		home := e.aliveHome(homes, hi)
@@ -436,11 +466,15 @@ func (e *engine) worker(ctx context.Context, w int, homes []ident.ID, start time
 		}
 		e.netMu.RUnlock()
 		lat := float64(time.Since(t0).Nanoseconds())
+		if cfg.Obs != nil {
+			cfg.Obs.InFlight.Add(-1)
+		}
 
 		out.ops++
 		out.count[kind]++
 		out.lat.Observe(lat)
 		out.perLat[kind].Observe(lat)
+		routed := opErr == nil || errorsIsNotFound(opErr)
 		switch {
 		case opErr == nil:
 			out.hops.Observe(float64(hops))
@@ -452,7 +486,39 @@ func (e *engine) worker(ctx context.Context, w int, homes []ident.ID, start time
 		default:
 			out.errs[kind]++
 		}
+		if cfg.Obs != nil {
+			e.observeOp(w, kind, lat, hops, routed, opErr)
+		}
 		e.opsDone.Add(1)
+	}
+}
+
+// observeOp mirrors one completed op into the live metrics set. It
+// observes into worker-sharded histograms, so concurrent workers never
+// contend, and routed ops (including not-found, which resolved an
+// owner) contribute their hop count while routing failures feed the
+// error taxonomy instead.
+func (e *engine) observeOp(w, kind int, lat float64, hops int, routed bool, opErr error) {
+	m := e.cfg.Obs
+	m.Ops.Inc()
+	m.LatencyNS.Observe(w, lat)
+	op := m.Op(kind)
+	op.Ops.Inc()
+	op.LatencyNS.Observe(w, lat)
+	if routed {
+		m.Hops.Observe(w, float64(hops))
+		op.Hops.Observe(w, float64(hops))
+	}
+	switch {
+	case opErr == nil:
+	case errorsIsNotFound(opErr):
+		m.NotFound.Inc()
+	case errors.Is(opErr, dht.ErrUnknownPeer):
+		m.UnknownPeer.Inc()
+		op.Errors.Inc()
+	default:
+		m.RouteErrors.Inc()
+		op.Errors.Inc()
 	}
 }
 
