@@ -25,7 +25,12 @@ WAKE_BENCH := BenchmarkWakeDependents/indexed
 # uncached table routing and the end-to-end workload engine.
 LOOKUP_BENCH := BenchmarkTableLookup|BenchmarkWorkload
 
-.PHONY: all test test-short lint vet fmt staticcheck bench bench-json bench-lookups bench-async bench-mem bench-diff cover examples clean
+# Wire-codec benchmarks tracked in BENCH_wire.json: the warm
+# symbol-table message encode/decode hot path, pinned at <= 2 allocs/op
+# by the bench-diff gate (currently 0).
+WIRE_BENCH := BenchmarkEncodeMessage|BenchmarkDecodeMessage
+
+.PHONY: all test test-short lint vet fmt staticcheck bench bench-json bench-lookups bench-async bench-mem bench-wire bench-diff fuzz-smoke cover examples clean
 
 all: lint test
 
@@ -113,6 +118,18 @@ bench-mem:
 	$(GO) test -run '^$$' -bench 'BenchmarkMemoryPerPeer' -benchtime=1x . | $(GO) run ./cmd/benchjson > BENCH_mem.json
 	@echo wrote BENCH_mem.json
 
+# bench-wire records the wire-codec hot-path benchmarks in
+# BENCH_wire.json.
+bench-wire:
+	$(GO) test -run '^$$' -bench '$(WIRE_BENCH)' -benchmem ./internal/wire/ | $(GO) run ./cmd/benchjson > BENCH_wire.json
+	@echo wrote BENCH_wire.json
+
+# fuzz-smoke runs each native fuzz target briefly against the codec —
+# the same budget CI's wire job spends per target.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzFrameRoundTrip' -fuzztime 30s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeHostile' -fuzztime 30s ./internal/wire/
+
 # bench-diff re-records the gated benchmarks (few iterations — alloc
 # counts are deterministic, wall-clock drift is warn-only anyway) and
 # compares them against the committed baselines without overwriting
@@ -132,6 +149,10 @@ bench-diff:
 	  | $(GO) run ./cmd/benchjson > /tmp/bench_new_async.json
 	$(GO) run ./cmd/benchdiff -base BENCH_async.json -new /tmp/bench_new_async.json \
 	  -fail-allocs 'BenchmarkAsyncStep'
+	$(GO) test -run '^$$' -bench '$(WIRE_BENCH)' -benchmem -benchtime=10000x ./internal/wire/ \
+	  | $(GO) run ./cmd/benchjson > /tmp/bench_new_wire.json
+	$(GO) run ./cmd/benchdiff -base BENCH_wire.json -new /tmp/bench_new_wire.json \
+	  -fail-allocs 'BenchmarkEncodeMessage|BenchmarkDecodeMessage'
 
 clean:
 	$(GO) clean -testcache

@@ -61,6 +61,10 @@ type Cluster struct {
 	// by the facade KV methods and every RunWorkload call so Metrics()
 	// accumulates across runs. It is read without mu; see Metrics.
 	met *obs.WorkloadMetrics
+
+	// wire is the optional caller-owned wire-layer counter set
+	// (WithWireMetrics); nil when the process has no wire transport.
+	wire *obs.WireMetrics
 }
 
 // failoverResolver routes through the epoch-cached table router and
@@ -113,7 +117,7 @@ func New(opts ...Option) (*Cluster, error) {
 		nw = generators()[cfg.topology].Build(ids, rng, rcfg)
 	}
 
-	c := &Cluster{cfg: cfg, nw: nw, rng: rng, homes: nw.Peers()}
+	c := &Cluster{cfg: cfg, nw: nw, rng: rng, homes: nw.Peers(), wire: cfg.wireMetrics}
 	// Histogram shards cover the widest worker pool a workload run may
 	// use plus the facade's own slot; extra shards only cost idle
 	// zero-value histograms.

@@ -49,6 +49,7 @@ func (c *Cluster) Metrics() MetricsSnapshot {
 	}
 	s.Routing.Fallbacks = c.fallbacks.Load()
 	s.Routing.LookupHops = obs.SummarizeHist(c.met.Hops.Merged())
+	s.Wire = c.wire.Snapshot() // nil-safe: all-zero without WithWireMetrics
 	return s
 }
 

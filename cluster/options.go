@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/rechord"
 	"repro/internal/topogen"
 	"repro/internal/workload"
@@ -56,6 +57,7 @@ type config struct {
 	async             bool
 	asyncProb         float64
 	asyncDelay        DelayModel
+	wireMetrics       *obs.WireMetrics
 }
 
 func defaultConfig() config {
@@ -202,6 +204,17 @@ func ParseDelayModel(spec string) (DelayModel, error) {
 		return DelayPareto(alpha, int(max)), nil
 	}
 	return nil, bad()
+}
+
+// WithWireMetrics attaches a wire-layer counter set (the one threaded
+// through internal/wire encoders, decoders and node runners) so the
+// cluster's Metrics() snapshot — and therefore the /metrics endpoint —
+// carries frame, byte and effect counts alongside the engine and
+// workload sections. The set stays caller-owned: a process embedding
+// both a serving cluster and a wire node passes the same instance to
+// both.
+func WithWireMetrics(m *obs.WireMetrics) Option {
+	return func(c *config) { c.wireMetrics = m }
 }
 
 // WithAsync switches the cluster from the paper's synchronous round

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"time"
 
 	"repro/cluster"
 )
@@ -17,12 +21,21 @@ import (
 func obsMux(c *cluster.Cluster) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
+		// Encode into a buffer first: once any byte of the body has
+		// been written, a late encoding error could only corrupt the
+		// response (http.Error on a started body is a no-op on the
+		// status and splices text into the JSON). Buffering makes the
+		// error path a real 500 and provides Content-Length for free.
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(c.Metrics()); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
 		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+		_, _ = w.Write(buf.Bytes())
 	})
 	// The default pprof handlers register on http.DefaultServeMux; on
 	// a private mux each one is wired explicitly.
@@ -34,16 +47,34 @@ func obsMux(c *cluster.Cluster) *http.ServeMux {
 	return mux
 }
 
+// obsDrainTimeout bounds how long stopping the observability server
+// waits for in-flight scrapes before cutting connections.
+const obsDrainTimeout = 2 * time.Second
+
 // serveObs starts the observability server on addr and returns the
 // bound address (addr may end in :0) and a stop function. The server
 // runs for the lifetime of the process's run — demo and workload modes
-// both stay scrapeable while they execute.
+// both stay scrapeable while they execute. Stop drains gracefully: a
+// scrape in flight when the run finishes gets obsDrainTimeout to
+// complete (Close would sever it mid-body) before the server falls
+// back to closing connections.
 func serveObs(c *cluster.Cluster, addr string) (string, func(), error) {
+	return serveObsHandler(obsMux(c), addr)
+}
+
+func serveObsHandler(h http.Handler, addr string) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: obsMux(c)}
+	srv := &http.Server{Handler: h}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), obsDrainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			_ = srv.Close()
+		}
+	}
+	return ln.Addr().String(), stop, nil
 }

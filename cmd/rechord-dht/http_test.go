@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/cluster"
 )
@@ -76,6 +79,96 @@ func TestObsEndpointDuringWorkload(t *testing.T) {
 	}
 	if snap.Engine.Steps == 0 {
 		t.Fatal("post-run snapshot shows no engine steps")
+	}
+}
+
+// TestMetricsContentLength pins the buffered write path: the snapshot
+// is encoded before any byte reaches the wire, so the response carries
+// an exact Content-Length and an encoding failure could still become a
+// clean 500 instead of text spliced into half-written JSON.
+func TestMetricsContentLength(t *testing.T) {
+	c, err := cluster.New(cluster.WithSize(8), cluster.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(obsMux(c))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("Content-Length"); got != strconv.Itoa(len(body)) {
+		t.Fatalf("Content-Length %q, body is %d bytes", got, len(body))
+	}
+	var snap cluster.MetricsSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("body is not the snapshot JSON: %v", err)
+	}
+}
+
+// TestStopDrainsInflightScrape pins the graceful-stop contract: a
+// scrape that is mid-flight when the run finishes completes with its
+// full body (Shutdown drains), instead of being severed by Close.
+func TestStopDrainsInflightScrape(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	const slowBody = "slow-scrape-body"
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		_, _ = io.WriteString(w, slowBody)
+	})
+	addr, stop, err := serveObsHandler(h, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- result{body: string(b), err: err}
+	}()
+	<-entered // the scrape is now in flight
+
+	stopped := make(chan struct{})
+	go func() {
+		stop()
+		close(stopped)
+	}()
+	// Let Shutdown begin its drain, then let the handler finish.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight scrape failed across stop: %v", r.err)
+	}
+	if r.body != slowBody {
+		t.Fatalf("in-flight scrape body %q, want %q", r.body, slowBody)
+	}
+	<-stopped
+
+	// Stopped means stopped: new connections must be refused.
+	if resp, err := http.Get("http://" + addr + "/"); err == nil {
+		resp.Body.Close()
+		t.Fatal("server still accepting connections after stop")
 	}
 }
 

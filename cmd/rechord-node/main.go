@@ -1,0 +1,146 @@
+// Command rechord-node runs one partition of a Re-Chord network as a
+// real OS process, speaking the internal/wire codec over TCP. A
+// cluster is rank 0 (the seed, which listens and coordinates the
+// lockstep rounds) plus procs-1 workers that dial the seed's address:
+//
+//	rechord-node -rank 0 -procs 4 -listen 127.0.0.1:0 -script run.rws
+//	rechord-node -rank 1 -procs 4 -seed 127.0.0.1:43210 -script run.rws
+//	...
+//
+// Every process loads the same script (topology name, size, seed and
+// churn schedule — see internal/wire.ParseScript) and rebuilds the
+// identical replicated network; the wire protocol only carries each
+// round's cross-partition effects. The seed prints "listening <addr>"
+// once bound (so :0 works under scripts) and, after convergence, the
+// combined cluster fingerprint — which equals the monolithic
+// simulator's fingerprint for the same script, the property the
+// sim-vs-wire equivalence gate enforces.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rechord"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "rechord-node: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rechord-node", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		rank       = fs.Int("rank", 0, "this process's rank in [0, procs)")
+		procs      = fs.Int("procs", 1, "total processes in the cluster")
+		listen     = fs.String("listen", "127.0.0.1:0", "rank 0: TCP address to listen on")
+		seedAddr   = fs.String("seed", "", "rank >= 1: the seed's TCP address")
+		scriptPath = fs.String("script", "", "path to the shared run script (required)")
+		workers    = fs.Int("workers", 1, "rule-execution goroutines per round")
+		dialWait   = fs.Duration("dial-wait", 5*time.Second, "rank >= 1: how long to retry dialing the seed")
+		verbose    = fs.Bool("v", false, "log per-phase progress to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *procs < 1 {
+		return fmt.Errorf("-procs %d: need at least 1", *procs)
+	}
+	if *rank < 0 || *rank >= *procs {
+		return fmt.Errorf("-rank %d out of range [0, %d)", *rank, *procs)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers %d is negative", *workers)
+	}
+	if *scriptPath == "" {
+		return fmt.Errorf("-script is required")
+	}
+	if *rank == 0 && *seedAddr != "" {
+		return fmt.Errorf("-seed only applies to ranks >= 1")
+	}
+	if *rank != 0 && *seedAddr == "" {
+		return fmt.Errorf("-seed is required for ranks >= 1")
+	}
+
+	f, err := os.Open(*scriptPath)
+	if err != nil {
+		return err
+	}
+	script, err := wire.ParseScript(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	met := &obs.WireMetrics{}
+	nd := &wire.Node{
+		Rank:    *rank,
+		Procs:   *procs,
+		Script:  script,
+		Config:  rechord.Config{Workers: *workers},
+		Metrics: met,
+	}
+	if *verbose {
+		nd.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "rechord-node: "+format+"\n", args...)
+		}
+	}
+	tr := wire.NewTCP(met)
+
+	var res *wire.Result
+	if *rank == 0 {
+		ln, err := tr.Listen(*listen)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintf(stdout, "listening %s\n", ln.Addr())
+		if res, err = nd.RunSeed(ln); err != nil {
+			return err
+		}
+	} else {
+		c, err := dialRetry(tr, *seedAddr, *dialWait)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		if res, err = nd.RunWorker(c); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "fingerprint=%016x peers=%d rounds=%d frames=%d bytes=%d\n",
+		res.Fingerprint, res.Peers, res.Rounds,
+		met.FramesSent.Value()+met.FramesRecv.Value(),
+		met.BytesSent.Value()+met.BytesRecv.Value())
+	return nil
+}
+
+// dialRetry dials the seed until it answers or the budget runs out:
+// workers are typically launched in the same breath as the seed, so
+// the first attempts can race its bind.
+func dialRetry(tr wire.Transport, addr string, wait time.Duration) (wire.Conn, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		c, err := tr.Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dial %s: %w", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

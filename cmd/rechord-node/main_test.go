@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/rechord"
+	"repro/internal/wire"
+)
+
+// TestMain doubles as the child-process entry point: the multi-process
+// test re-executes this test binary with RECHORD_NODE_CHILD=1, turning
+// it into the rechord-node binary proper (same run function).
+func TestMain(m *testing.M) {
+	if os.Getenv("RECHORD_NODE_CHILD") == "1" {
+		args := strings.Split(os.Getenv("RECHORD_NODE_ARGS"), "\x1f")
+		if err := run(args, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "rechord-node child: %v\n", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-procs", "0", "-script", "x"},
+		{"-rank", "4", "-procs", "4", "-script", "x"},
+		{"-rank", "-1", "-procs", "2", "-script", "x"},
+		{"-rank", "0", "-procs", "2"},                                   // no script
+		{"-rank", "1", "-procs", "2", "-script", "x"},                   // worker without -seed
+		{"-rank", "0", "-procs", "2", "-script", "x", "-seed", "h:1"},   // seed with -seed
+		{"-rank", "0", "-procs", "1", "-script", "/nonexistent/script"}, // unreadable script
+		{"-rank", "0", "-procs", "1", "-script", "x", "-workers", "-1"}, // bad workers
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v): want error, got nil", args)
+		}
+	}
+}
+
+// gateScript builds the equivalence-gate run description by the same
+// recipe as internal/wire's GateScript: a 20-peer random topology whose
+// leave/fail/contact targets come from the generated membership.
+func gateScript(t *testing.T) *wire.Script {
+	t.Helper()
+	base, err := wire.ParseScript(strings.NewReader(
+		"rechord-wire-script v1\ntopo random 20 1701\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := base.Build(rechord.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := nw.Peers()
+	text := fmt.Sprintf(`rechord-wire-script v1
+topo random 20 1701
+maxrounds 2000
+op 3 join 5a5a000000000001 contact %s
+op 6 leave %s
+op 9 fail %s
+op 12 join a5a5000000000002 contact 5a5a000000000001
+`, ids[0].Hex(), ids[3].Hex(), ids[7].Hex())
+	s, err := wire.ParseScript(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestTCPClusterEquivalence is the wire leg of the sim-vs-wire gate
+// across real OS processes: 4 rechord-node processes (this test binary
+// re-executed) run the gate script over loopback TCP, and the seed's
+// combined fingerprint must equal the in-process monolithic run's.
+func TestTCPClusterEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test")
+	}
+	const procs = 4
+	s := gateScript(t)
+
+	wantFP, wantRounds, err := s.RunMonolith(rechord.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	scriptPath := filepath.Join(dir, "gate.rws")
+	if err := os.WriteFile(scriptPath, s.Format(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := func(args ...string) *exec.Cmd {
+		cmd := exec.Command(self)
+		cmd.Env = append(os.Environ(),
+			"RECHORD_NODE_CHILD=1",
+			"RECHORD_NODE_ARGS="+strings.Join(args, "\x1f"))
+		cmd.Stderr = os.Stderr
+		return cmd
+	}
+
+	seed := child("-rank", "0", "-procs", fmt.Sprint(procs),
+		"-listen", "127.0.0.1:0", "-script", scriptPath)
+	seedOut, err := seed.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Process.Kill()
+
+	// The seed's first line carries the resolved listen address.
+	sc := bufio.NewScanner(seedOut)
+	if !sc.Scan() {
+		t.Fatalf("seed produced no output: %v", sc.Err())
+	}
+	first := sc.Text()
+	addr, ok := strings.CutPrefix(first, "listening ")
+	if !ok {
+		t.Fatalf("unexpected seed greeting %q", first)
+	}
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, procs)
+	workerOuts := make([]string, procs)
+	for rank := 1; rank < procs; rank++ {
+		w := child("-rank", fmt.Sprint(rank), "-procs", fmt.Sprint(procs),
+			"-seed", addr, "-script", scriptPath)
+		var out bytes.Buffer
+		w.Stdout = &out
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			workerErrs[rank] = w.Wait()
+			workerOuts[rank] = out.String()
+		}(rank)
+	}
+
+	if !sc.Scan() {
+		t.Fatalf("seed produced no result line: %v", sc.Err())
+	}
+	result := sc.Text()
+	if err := seed.Wait(); err != nil {
+		t.Fatalf("seed exited with %v", err)
+	}
+	wg.Wait()
+	for rank := 1; rank < procs; rank++ {
+		if workerErrs[rank] != nil {
+			t.Fatalf("worker %d exited with %v (output %q)", rank, workerErrs[rank], workerOuts[rank])
+		}
+	}
+
+	var gotFP uint64
+	var gotPeers, gotRounds int
+	if _, err := fmt.Sscanf(result, "fingerprint=%x peers=%d rounds=%d",
+		&gotFP, &gotPeers, &gotRounds); err != nil {
+		t.Fatalf("cannot parse seed result %q: %v", result, err)
+	}
+	if gotFP != wantFP {
+		t.Fatalf("TCP cluster fingerprint %016x != monolith %016x", gotFP, wantFP)
+	}
+	if gotPeers != 20 {
+		t.Fatalf("TCP cluster peers = %d, want 20", gotPeers)
+	}
+	t.Logf("tcp cluster: fingerprint=%016x rounds=%d (monolith rounds=%d)",
+		gotFP, gotRounds, wantRounds)
+}

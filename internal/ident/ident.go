@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 )
 
 // ID is an identifier in [0,1), stored as a fixed-point fraction with
@@ -174,4 +175,39 @@ func SuccessorIndex(ids []ID, x ID) int {
 // and non-empty.
 func Successor(ids []ID, x ID) ID {
 	return ids[SuccessorIndex(ids, x)]
+}
+
+// AppendBytes appends the identifier's canonical 8-byte big-endian
+// wire form to dst. This is the literal representation a codec ships
+// on an identifier's first mention; FromBytes is its inverse.
+func AppendBytes(dst []byte, a ID) []byte {
+	return binary.BigEndian.AppendUint64(dst, uint64(a))
+}
+
+// FromBytes decodes the 8-byte big-endian identifier at the start of
+// b, reporting false when b is too short.
+func FromBytes(b []byte) (ID, bool) {
+	if len(b) < 8 {
+		return 0, false
+	}
+	return ID(binary.BigEndian.Uint64(b)), true
+}
+
+// Hex renders the identifier as exactly 16 lowercase hex digits — the
+// fixed-width textual form wire scripts and tooling use, accepted by
+// ParseHex. (String is the human-facing decimal fraction instead.)
+func (a ID) Hex() string {
+	return fmt.Sprintf("%016x", uint64(a))
+}
+
+// ParseHex decodes the 16-digit hex form produced by Hex.
+func ParseHex(s string) (ID, error) {
+	if len(s) != 16 {
+		return 0, fmt.Errorf("ident: hex id must be 16 digits, got %q", s)
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("ident: bad hex id %q: %v", s, err)
+	}
+	return ID(v), nil
 }

@@ -26,6 +26,7 @@ type Snapshot struct {
 	Engine        EngineSnapshot   `json:"engine"`
 	Routing       RoutingSnapshot  `json:"routing"`
 	Workload      WorkloadSnapshot `json:"workload"`
+	Wire          WireSnapshot     `json:"wire"`
 	EventsDropped uint64           `json:"events_dropped"`
 }
 

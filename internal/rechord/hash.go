@@ -1,5 +1,7 @@
 package rechord
 
+import "repro/internal/ident"
+
 // This file is the incremental settle check: a 64-bit content hash per
 // (peer slot, virtual level) replacing the per-barrier deep clone of
 // every active peer's virtual nodes.
@@ -127,4 +129,29 @@ func (nw *Network) rebuildHashes() {
 		}
 		nw.refreshHashSlot(uint32(slot), n)
 	}
+}
+
+// StateFingerprint digests the protocol state of every live peer the
+// filter accepts (all peers when filter is nil): per peer, an
+// order-sensitive chain over its identifier, level count and per-level
+// content hashes; across peers, XOR — so fingerprints of disjoint
+// partitions of one network combine into the whole-network value, and
+// two networks holding the same peers in the same protocol state agree
+// regardless of slot assignment. Only protocol state (the virtual
+// nodes) is digested: standing buckets, pending inboxes and last
+// outputs are schedule artifacts, empty or redundant at quiescence.
+func (nw *Network) StateFingerprint(filter func(ident.ID) bool) uint64 {
+	var fp uint64
+	for _, n := range nw.pt.nodes {
+		if n == nil || (filter != nil && !filter(n.id)) {
+			continue
+		}
+		h := mixWord(0x243F6A8885A308D3, uint64(n.id))
+		h = mixWord(h, uint64(len(n.vnodes)))
+		for _, v := range n.vnodes {
+			h = mixWord(h, hashVNode(v))
+		}
+		fp ^= h
+	}
+	return fp
 }

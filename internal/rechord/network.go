@@ -160,6 +160,14 @@ type Network struct {
 	// counter at the barrier. Embedded by value so a zero-constructed
 	// Network is still safe to step.
 	met obs.EngineMetrics
+
+	// onBarrier, when set, observes the batch barrier's change sets
+	// right where wakeDependents consumes them: the owners whose level
+	// span moved and the virtual refs whose published view changed this
+	// batch. Partitioned schedulers hook it to forward view updates to
+	// the processes hosting the dependents (see partition.go); the maps
+	// are the barrier's own and must not be retained.
+	onBarrier func(owners map[ident.ID]bool, refs map[ref.Ref]bool)
 }
 
 // Obs returns the engine's telemetry counters. The returned metrics
@@ -950,6 +958,9 @@ func (nw *Network) runBatch(active []uint32, settle bool, route func(n *RealNode
 		fBefore := len(nw.frontier)
 		nw.wakeDependents(ownerChanged, viewChanged)
 		woken = len(nw.frontier) - fBefore
+		if nw.onBarrier != nil {
+			nw.onBarrier(ownerChanged, viewChanged)
+		}
 	}
 	// Drop the batch arrays (and the vnode clones pinned by the settle
 	// buffers) once the frontier has contracted well below their
@@ -1000,6 +1011,15 @@ func (nw *Network) syncRoute(n *RealNode, out []Message, outChanged, _ bool) {
 // message order (the emission order sameMessages compares) is
 // preserved by the stable sort.
 func (nw *Network) reroute(n *RealNode, out []Message) {
+	nw.rerouteWith(n, out, nil)
+}
+
+// rerouteWith is reroute with a change observer: onChange fires once
+// per recipient whose standing bucket this call actually rewrote, with
+// the new contribution (nil for a deletion). Partitioned schedulers
+// use it to mirror bucket rewrites to the recipient's hosting process;
+// the msgs slice aliases sender scratch and must be copied if kept.
+func (nw *Network) rerouteWith(n *RealNode, out []Message, onChange func(dst ident.ID, msgs []Message)) {
 	// Group the output by recipient, preserving per-recipient emission
 	// order. The group list is kept sorted by owner, so membership is
 	// a binary search and inserts are small memmoves — outputs reach a
@@ -1050,11 +1070,15 @@ func (nw *Network) reroute(n *RealNode, out []Message) {
 			}
 		}
 		if lo == ng || groups[lo].owner != owner {
-			nw.rerouteOne(h, owner, nil)
+			if nw.rerouteOne(h, owner, nil) && onChange != nil {
+				onChange(owner, nil)
+			}
 		}
 	}
 	for g := 0; g < ng; g++ {
-		nw.rerouteOne(h, groups[g].owner, groups[g].msgs)
+		if nw.rerouteOne(h, groups[g].owner, groups[g].msgs) && onChange != nil {
+			onChange(groups[g].owner, groups[g].msgs)
+		}
 	}
 }
 
@@ -1062,16 +1086,17 @@ func (nw *Network) reroute(n *RealNode, out []Message) {
 // recipient, waking the recipient only when the contribution actually
 // changed. An empty contribution deletes the bucket; a departed
 // recipient is a no-op. newB may alias caller scratch: the bucket
-// stores a copy, reusing the previous bucket's storage.
-func (nw *Network) rerouteOne(sender handle, dstID ident.ID, newB []Message) {
+// stores a copy, reusing the previous bucket's storage. The return
+// reports whether the bucket actually changed.
+func (nw *Network) rerouteOne(sender handle, dstID ident.ID, newB []Message) bool {
 	slot, ok := nw.pt.lookup(dstID)
 	if !ok {
-		return // destination departed
+		return false // destination departed
 	}
 	dst := nw.pt.nodes[slot]
 	oldB := dst.in[sender]
 	if sameMessages(oldB, newB) {
-		return
+		return false
 	}
 	nw.bucketMsgs += len(newB) - len(oldB)
 	nw.depRemoveMsgs(slot, oldB)
@@ -1092,6 +1117,7 @@ func (nw *Network) rerouteOne(sender handle, dstID ident.ID, newB []Message) {
 		dst.in[sender] = append(b, newB...)
 	}
 	nw.markDirtyIdx(slot)
+	return true
 }
 
 // installBucketQuiet sets the sender's standing bucket at the

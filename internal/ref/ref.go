@@ -275,3 +275,14 @@ func (s *Set) RemoveIf(drop func(Ref) bool) int {
 func (s Set) String() string {
 	return fmt.Sprintf("%v", s.rs)
 }
+
+// MaxWireLevel bounds Ref.Level in compact wire encodings: protocol
+// refs never exceed ident.MaxLevel, and the one-byte headroom keeps
+// the bound cheap for a strict decoder to enforce before it trusts a
+// level to size anything.
+const MaxWireLevel = 255
+
+// WireValid reports whether the reference may appear on the wire: a
+// non-negative level within MaxWireLevel. Encoders check it before
+// emitting, decoders after reading.
+func (r Ref) WireValid() bool { return r.Level >= 0 && r.Level <= MaxWireLevel }

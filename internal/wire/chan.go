@@ -1,0 +1,187 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ident"
+	"repro/internal/obs"
+	"repro/internal/rechord"
+)
+
+// ChanNet is the in-process transport: a registry of named listeners
+// connected by byte pipes. Every frame still passes through the codec
+// (encode on Send, strict decode on Recv), so the chan legs of the
+// equivalence gate exercise the exact bytes the TCP transport puts on
+// a socket.
+//
+// The optional DelayModel reuses the async scheduler's simulated
+// network: each sent frame draws a latency for its (from, to) address
+// pair, accumulated into a virtual-latency total. Under the node
+// runner's lockstep barrier the draw cannot reorder anything — every
+// frame of round r is applied before round r+1 regardless — so the
+// model contributes simulated-time accounting (what a real network
+// would have cost this schedule), not semantics. That invariance is
+// itself part of the equivalence statement: fingerprints must not
+// depend on the delay model.
+type ChanNet struct {
+	mu        sync.Mutex
+	listeners map[string]*chanListener
+	rng       *rand.Rand
+	delay     rechord.DelayModel
+	met       *obs.WireMetrics
+
+	simLatency atomic.Int64 // sum of drawn per-frame latencies
+	simFrames  atomic.Int64
+}
+
+// NewChanNet returns an in-process transport. delay may be nil (every
+// frame then costs one simulated time unit); seed drives the delay
+// draws. met may be nil.
+func NewChanNet(delay rechord.DelayModel, seed int64, met *obs.WireMetrics) *ChanNet {
+	return &ChanNet{
+		listeners: make(map[string]*chanListener),
+		rng:       rand.New(rand.NewSource(seed)),
+		delay:     delay,
+		met:       met,
+	}
+}
+
+// SimLatency reports the accumulated simulated network cost: total
+// latency units drawn and the number of frames they cover.
+func (cn *ChanNet) SimLatency() (total, frames int64) {
+	return cn.simLatency.Load(), cn.simFrames.Load()
+}
+
+// draw accounts one frame sent from local to remote.
+func (cn *ChanNet) draw(local, remote string) {
+	d := 1
+	if cn.delay != nil {
+		cn.mu.Lock()
+		d = cn.delay.Delay(cn.rng, ident.Hash(local), ident.Hash(remote))
+		cn.mu.Unlock()
+		if d < 1 {
+			d = 1
+		}
+	}
+	cn.simLatency.Add(int64(d))
+	cn.simFrames.Add(1)
+}
+
+func (cn *ChanNet) Listen(addr string) (Listener, error) {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if _, ok := cn.listeners[addr]; ok {
+		return nil, errTransport("listen", addr, fmt.Errorf("address in use"))
+	}
+	l := &chanListener{net: cn, addr: addr, accept: make(chan Conn, 16)}
+	cn.listeners[addr] = l
+	return l, nil
+}
+
+func (cn *ChanNet) Dial(addr string) (Conn, error) {
+	cn.mu.Lock()
+	l, ok := cn.listeners[addr]
+	cn.mu.Unlock()
+	if !ok {
+		return nil, errTransport("dial", addr, fmt.Errorf("no listener"))
+	}
+	// Two pipes make one duplex link; each side reads the pipe the
+	// other writes.
+	c2s := newPipe()
+	s2c := newPipe()
+	client := newStreamConn(s2c, c2s, nil, cn.met, c2s, s2c)
+	server := newStreamConn(c2s, s2c, nil, cn.met, c2s, s2c)
+	clientAddr := fmt.Sprintf("%s!client%d", addr, cn.simFrames.Load())
+	client.onSend = func(Frame) { cn.draw(clientAddr, addr) }
+	server.onSend = func(Frame) { cn.draw(addr, clientAddr) }
+	select {
+	case l.accept <- server:
+	default:
+		client.Close()
+		return nil, errTransport("dial", addr, fmt.Errorf("accept queue full"))
+	}
+	return client, nil
+}
+
+type chanListener struct {
+	net    *ChanNet
+	addr   string
+	accept chan Conn
+	closed sync.Once
+}
+
+func (l *chanListener) Accept() (Conn, error) {
+	c, ok := <-l.accept
+	if !ok {
+		return nil, errTransport("accept", l.addr, fmt.Errorf("listener closed"))
+	}
+	return c, nil
+}
+
+func (l *chanListener) Addr() string { return l.addr }
+
+func (l *chanListener) Close() error {
+	l.closed.Do(func() {
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+		close(l.accept)
+	})
+	return nil
+}
+
+// pipe is an unbounded in-memory byte stream: Write appends, Read
+// blocks until bytes or close. Unbounded is safe here — the node
+// runner's lockstep barrier keeps at most a round's frames in flight.
+type pipe struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+}
+
+func newPipe() *pipe {
+	p := &pipe{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *pipe) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, io.ErrClosedPipe
+	}
+	p.buf = append(p.buf, b...)
+	p.cond.Broadcast()
+	return len(b), nil
+}
+
+func (p *pipe) Read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.buf) == 0 && !p.closed {
+		p.cond.Wait()
+	}
+	if len(p.buf) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(b, p.buf)
+	p.buf = p.buf[n:]
+	if len(p.buf) == 0 {
+		p.buf = nil // release the drained backing array
+	}
+	return n, nil
+}
+
+func (p *pipe) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	p.cond.Broadcast()
+	return nil
+}

@@ -1,0 +1,278 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/ident"
+	"repro/internal/obs"
+	"repro/internal/rechord"
+)
+
+// Node runs one partition of a scripted Re-Chord network as a wire
+// peer: it rebuilds the full replicated membership from the script,
+// executes the hosted peers' rules through rechord.Partition, and
+// exchanges round frames over a Transport.
+//
+// The cluster is a star around rank 0 (the seed): each worker sends
+// its round frame to the seed, the seed merges all frames (its own
+// included) in rank order into one bundle, decides termination, and
+// broadcasts the bundle back. Every process applies the full bundle —
+// the Apply methods make re-applying one's own effects a no-op — so
+// all replicas stay consistent without a full mesh or a distributed
+// termination protocol.
+type Node struct {
+	Rank  int
+	Procs int
+
+	Script *Script
+	Config rechord.Config
+
+	// Metrics, when set, receives the wire counters (also threaded
+	// into the transport's codec if the caller passes the same set
+	// there).
+	Metrics *obs.WireMetrics
+
+	// Logf, when set, receives progress lines (the node binary wires
+	// it to its stdout in verbose mode).
+	Logf func(format string, args ...any)
+}
+
+// Result is one node's outcome. On rank 0, Fingerprint is the
+// XOR-combined cluster fingerprint and Peers the total peer count; on
+// workers both cover only the local partition.
+type Result struct {
+	Fingerprint uint64
+	Peers       int
+	Rounds      int
+}
+
+func (nd *Node) logf(format string, args ...any) {
+	if nd.Logf != nil {
+		nd.Logf(format, args...)
+	}
+}
+
+func (nd *Node) validate() error {
+	if nd.Script == nil {
+		return fmt.Errorf("wire: node needs a script")
+	}
+	if nd.Procs < 1 {
+		return fmt.Errorf("wire: procs must be >= 1, got %d", nd.Procs)
+	}
+	if nd.Rank < 0 || nd.Rank >= nd.Procs {
+		return fmt.Errorf("wire: rank %d out of range [0,%d)", nd.Rank, nd.Procs)
+	}
+	return nil
+}
+
+// newPartition builds this rank's partition over a fresh replica.
+func (nd *Node) newPartition(sink rechord.PartitionSink) (*rechord.Partition, error) {
+	nw, err := nd.Script.Build(nd.Config)
+	if err != nil {
+		return nil, err
+	}
+	rank, procs := uint64(nd.Rank), uint64(nd.Procs)
+	hosted := func(id ident.ID) bool { return uint64(id)%procs == rank }
+	return rechord.NewPartition(nw, hosted, sink), nil
+}
+
+// frameSink buffers a round's outgoing effects into a RoundFrame.
+type frameSink struct{ fr RoundFrame }
+
+func (s *frameSink) SendBucket(u rechord.BucketUpdate)  { s.fr.Buckets = append(s.fr.Buckets, u) }
+func (s *frameSink) SendOneShot(u rechord.OneShot)      { s.fr.OneShots = append(s.fr.OneShots, u) }
+func (s *frameSink) PublishState(p rechord.PeerPublish) { s.fr.Publishes = append(s.fr.Publishes, p) }
+
+// take returns the buffered frame for round r and resets the buffer.
+func (s *frameSink) take(r int, changed bool) *RoundFrame {
+	fr := s.fr
+	fr.Round = r
+	fr.Changed = changed || fr.payloadLen() > 0
+	s.fr = RoundFrame{}
+	return &fr
+}
+
+// applyBundle applies a merged round bundle to the local partition.
+func applyBundle(p *rechord.Partition, fr *RoundFrame) {
+	for _, u := range fr.Buckets {
+		p.ApplyBucket(u)
+	}
+	for _, u := range fr.OneShots {
+		p.ApplyOneShot(u)
+	}
+	for _, pub := range fr.Publishes {
+		p.ApplyPublish(pub)
+	}
+}
+
+// stepRound advances the partition one round: due script ops first,
+// then the hosted batch. It reports whether anything changed locally.
+func (nd *Node) stepRound(p *rechord.Partition, next *int, r int) (bool, error) {
+	opsApplied := false
+	for *next < len(nd.Script.Ops) && nd.Script.Ops[*next].Round == r {
+		if err := nd.Script.Ops[*next].applyPartition(p); err != nil {
+			return false, err
+		}
+		*next++
+		opsApplied = true
+	}
+	p.Step()
+	return opsApplied || p.LastChange() == p.Time(), nil
+}
+
+// RunSeed runs rank 0: accept the workers, drive the lockstep rounds,
+// decide termination, and combine the fingerprints.
+func (nd *Node) RunSeed(ln Listener) (*Result, error) {
+	if err := nd.validate(); err != nil {
+		return nil, err
+	}
+	if nd.Rank != 0 {
+		return nil, fmt.Errorf("wire: RunSeed called on rank %d", nd.Rank)
+	}
+
+	// Bootstrap: one Hello per worker, slotted by rank.
+	conns := make([]Conn, nd.Procs) // conns[0] stays nil (self)
+	for i := 1; i < nd.Procs; i++ {
+		c, err := ln.Accept()
+		if err != nil {
+			return nil, errTransport("accept", ln.Addr(), err)
+		}
+		f, err := c.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("wire: seed handshake: %w", err)
+		}
+		h, ok := f.(*Hello)
+		if !ok {
+			return nil, fmt.Errorf("wire: seed handshake: want hello, got %T", f)
+		}
+		if h.Procs != nd.Procs {
+			return nil, fmt.Errorf("wire: worker believes procs=%d, seed has %d", h.Procs, nd.Procs)
+		}
+		if h.Rank < 1 || h.Rank >= nd.Procs || conns[h.Rank] != nil {
+			return nil, fmt.Errorf("wire: bad or duplicate worker rank %d", h.Rank)
+		}
+		conns[h.Rank] = c
+	}
+	nd.logf("seed: %d workers connected", nd.Procs-1)
+
+	sink := &frameSink{}
+	p, err := nd.newPartition(sink)
+	if err != nil {
+		return nil, err
+	}
+
+	var runErr error
+	rounds := 0
+	next := 0
+	for r := 1; ; r++ {
+		rounds = r
+		changed, err := nd.stepRound(p, &next, r)
+		if err != nil {
+			runErr = err
+			break
+		}
+		frames := make([]*RoundFrame, 0, nd.Procs)
+		frames = append(frames, sink.take(r, changed))
+		for rank := 1; rank < nd.Procs; rank++ {
+			f, err := conns[rank].Recv()
+			if err != nil {
+				return nil, fmt.Errorf("wire: seed recv round %d from rank %d: %w", r, rank, err)
+			}
+			rf, ok := f.(*RoundFrame)
+			if !ok || rf.Round != r {
+				return nil, fmt.Errorf("wire: seed: rank %d out of sync at round %d (%T)", rank, r, f)
+			}
+			frames = append(frames, rf)
+		}
+		bundle := &RoundFrame{Round: r}
+		for _, f := range frames {
+			bundle.Changed = bundle.Changed || f.Changed
+			bundle.Buckets = append(bundle.Buckets, f.Buckets...)
+			bundle.OneShots = append(bundle.OneShots, f.OneShots...)
+			bundle.Publishes = append(bundle.Publishes, f.Publishes...)
+		}
+		bundle.Done = !bundle.Changed && next == len(nd.Script.Ops)
+		if r >= nd.Script.MaxRounds && !bundle.Done {
+			bundle.Done = true
+			runErr = fmt.Errorf("wire: cluster did not converge in %d rounds", nd.Script.MaxRounds)
+		}
+		for rank := 1; rank < nd.Procs; rank++ {
+			if err := conns[rank].Send(bundle); err != nil {
+				return nil, fmt.Errorf("wire: seed send bundle to rank %d: %w", rank, err)
+			}
+		}
+		applyBundle(p, bundle)
+		if bundle.Done {
+			break
+		}
+	}
+
+	res := &Result{Fingerprint: p.Fingerprint(), Peers: p.HostedPeers(), Rounds: rounds}
+	for rank := 1; rank < nd.Procs; rank++ {
+		f, err := conns[rank].Recv()
+		if err != nil {
+			return nil, fmt.Errorf("wire: seed recv fin from rank %d: %w", rank, err)
+		}
+		fin, ok := f.(*Fin)
+		if !ok {
+			return nil, fmt.Errorf("wire: seed: want fin from rank %d, got %T", rank, f)
+		}
+		res.Fingerprint ^= fin.Fingerprint
+		res.Peers += fin.Peers
+		conns[rank].Close()
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	nd.logf("seed: converged round=%d peers=%d fingerprint=%016x", res.Rounds, res.Peers, res.Fingerprint)
+	return res, nil
+}
+
+// RunWorker runs rank >= 1 over an established connection to the seed.
+func (nd *Node) RunWorker(c Conn) (*Result, error) {
+	if err := nd.validate(); err != nil {
+		return nil, err
+	}
+	if nd.Rank == 0 {
+		return nil, fmt.Errorf("wire: RunWorker called on rank 0")
+	}
+	if err := c.Send(&Hello{Rank: nd.Rank, Procs: nd.Procs}); err != nil {
+		return nil, fmt.Errorf("wire: worker hello: %w", err)
+	}
+
+	sink := &frameSink{}
+	p, err := nd.newPartition(sink)
+	if err != nil {
+		return nil, err
+	}
+	next := 0
+	rounds := 0
+	for r := 1; ; r++ {
+		rounds = r
+		changed, err := nd.stepRound(p, &next, r)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Send(sink.take(r, changed)); err != nil {
+			return nil, fmt.Errorf("wire: worker send round %d: %w", r, err)
+		}
+		f, err := c.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("wire: worker recv bundle %d: %w", r, err)
+		}
+		bundle, ok := f.(*RoundFrame)
+		if !ok || bundle.Round != r {
+			return nil, fmt.Errorf("wire: worker out of sync at round %d (%T)", r, f)
+		}
+		applyBundle(p, bundle)
+		if bundle.Done {
+			break
+		}
+	}
+	res := &Result{Fingerprint: p.Fingerprint(), Peers: p.HostedPeers(), Rounds: rounds}
+	if err := c.Send(&Fin{Fingerprint: res.Fingerprint, Peers: res.Peers, Rounds: res.Rounds}); err != nil {
+		return nil, fmt.Errorf("wire: worker fin: %w", err)
+	}
+	nd.logf("rank %d: done round=%d peers=%d local=%016x", nd.Rank, res.Rounds, res.Peers, res.Fingerprint)
+	return res, nil
+}

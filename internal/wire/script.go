@@ -1,0 +1,252 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/ident"
+	"repro/internal/rechord"
+	"repro/internal/topogen"
+)
+
+// Script is the deterministic run description every process of a wire
+// cluster shares: a named topology generator, size and seed (so each
+// process rebuilds the identical replicated network) plus a schedule
+// of membership ops. The textual form is line-oriented:
+//
+//	rechord-wire-script v1
+//	topo random 48 7
+//	maxrounds 4000
+//	op 3 join 5a5a000000000001 contact 00119b2f4c81d3e6
+//	op 6 leave 00119b2f4c81d3e6
+//	op 9 fail 77aa000000000003
+//
+// Identifiers are the 16-digit hex form (ident.Hex); op rounds must be
+// non-decreasing and >= 1 (ops for round r apply before round r runs).
+type Script struct {
+	Topology  string
+	N         int
+	Seed      int64
+	MaxRounds int
+	Ops       []Op
+}
+
+// OpKind is a scripted membership change.
+type OpKind int
+
+const (
+	OpJoin OpKind = iota
+	OpLeave
+	OpFail
+)
+
+// Op is one scheduled membership change.
+type Op struct {
+	Round   int
+	Kind    OpKind
+	ID      ident.ID
+	Contact ident.ID // join only
+}
+
+// DefaultMaxRounds caps a run whose script doesn't set its own bound.
+const DefaultMaxRounds = 10000
+
+// generatorByName resolves the topogen registry names scripts use.
+func generatorByName(name string) (topogen.Generator, error) {
+	for _, g := range append(topogen.All(), topogen.PreStabilized(), topogen.Loopy()) {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	return topogen.Generator{}, fmt.Errorf("wire: unknown topology %q", name)
+}
+
+// Build constructs this process's replica of the network: same seed,
+// same generator, same initial state at every rank.
+func (s *Script) Build(cfg rechord.Config) (*rechord.Network, error) {
+	gen, err := generatorByName(s.Topology)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	ids := topogen.RandomIDs(s.N, rng)
+	return gen.Build(ids, rng, cfg), nil
+}
+
+// ParseScript reads the textual form.
+func ParseScript(r io.Reader) (*Script, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("wire: empty script")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != "rechord-wire-script v1" {
+		return nil, fmt.Errorf("wire: bad script header %q", got)
+	}
+	s := &Script{MaxRounds: DefaultMaxRounds}
+	sawTopo := false
+	line := 1
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		switch fields[0] {
+		case "topo":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("wire: line %d: topo wants <name> <n> <seed>", line)
+			}
+			s.Topology = fields[1]
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("wire: line %d: bad size %q", line, fields[2])
+			}
+			seed, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("wire: line %d: bad seed %q", line, fields[3])
+			}
+			s.N, s.Seed, sawTopo = n, seed, true
+		case "maxrounds":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("wire: line %d: maxrounds wants one value", line)
+			}
+			m, err := strconv.Atoi(fields[1])
+			if err != nil || m < 1 {
+				return nil, fmt.Errorf("wire: line %d: bad maxrounds %q", line, fields[1])
+			}
+			s.MaxRounds = m
+		case "op":
+			op, err := parseOp(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("wire: line %d: %v", line, err)
+			}
+			if k := len(s.Ops); k > 0 && op.Round < s.Ops[k-1].Round {
+				return nil, fmt.Errorf("wire: line %d: op rounds must be non-decreasing", line)
+			}
+			s.Ops = append(s.Ops, op)
+		default:
+			return nil, fmt.Errorf("wire: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawTopo {
+		return nil, fmt.Errorf("wire: script has no topo line")
+	}
+	return s, nil
+}
+
+func parseOp(fields []string) (Op, error) {
+	if len(fields) < 3 {
+		return Op{}, fmt.Errorf("op wants <round> <join|leave|fail> <idhex> ...")
+	}
+	round, err := strconv.Atoi(fields[0])
+	if err != nil || round < 1 {
+		return Op{}, fmt.Errorf("bad op round %q", fields[0])
+	}
+	id, err := ident.ParseHex(fields[2])
+	if err != nil {
+		return Op{}, err
+	}
+	op := Op{Round: round, ID: id}
+	switch fields[1] {
+	case "join":
+		if len(fields) != 5 || fields[3] != "contact" {
+			return Op{}, fmt.Errorf("join wants <idhex> contact <idhex>")
+		}
+		op.Kind = OpJoin
+		if op.Contact, err = ident.ParseHex(fields[4]); err != nil {
+			return Op{}, err
+		}
+	case "leave":
+		if len(fields) != 3 {
+			return Op{}, fmt.Errorf("leave wants exactly <idhex>")
+		}
+		op.Kind = OpLeave
+	case "fail":
+		if len(fields) != 3 {
+			return Op{}, fmt.Errorf("fail wants exactly <idhex>")
+		}
+		op.Kind = OpFail
+	default:
+		return Op{}, fmt.Errorf("unknown op kind %q", fields[1])
+	}
+	return op, nil
+}
+
+// Format renders the script back to its textual form.
+func (s *Script) Format() []byte {
+	var b bytes.Buffer
+	fmt.Fprintln(&b, "rechord-wire-script v1")
+	fmt.Fprintf(&b, "topo %s %d %d\n", s.Topology, s.N, s.Seed)
+	if s.MaxRounds != DefaultMaxRounds {
+		fmt.Fprintf(&b, "maxrounds %d\n", s.MaxRounds)
+	}
+	for _, op := range s.Ops {
+		switch op.Kind {
+		case OpJoin:
+			fmt.Fprintf(&b, "op %d join %s contact %s\n", op.Round, op.ID.Hex(), op.Contact.Hex())
+		case OpLeave:
+			fmt.Fprintf(&b, "op %d leave %s\n", op.Round, op.ID.Hex())
+		case OpFail:
+			fmt.Fprintf(&b, "op %d fail %s\n", op.Round, op.ID.Hex())
+		}
+	}
+	return b.Bytes()
+}
+
+// applyMonolith executes the op directly on a monolithic network.
+func (op Op) applyMonolith(nw *rechord.Network) error {
+	switch op.Kind {
+	case OpJoin:
+		return nw.Join(op.ID, op.Contact)
+	case OpLeave:
+		return nw.Leave(op.ID)
+	default:
+		return nw.Fail(op.ID)
+	}
+}
+
+// applyPartition executes the op on one process's partition.
+func (op Op) applyPartition(p *rechord.Partition) error {
+	switch op.Kind {
+	case OpJoin:
+		return p.ApplyJoin(op.ID, op.Contact)
+	case OpLeave:
+		return p.ApplyLeave(op.ID)
+	default:
+		return p.ApplyFail(op.ID)
+	}
+}
+
+// RunMonolith executes the script in-process on one Network — the
+// reference leg of the equivalence gate. It returns the converged
+// fingerprint and the round count.
+func (s *Script) RunMonolith(cfg rechord.Config) (fp uint64, rounds int, err error) {
+	nw, err := s.Build(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	next := 0
+	for r := 1; ; r++ {
+		if r > s.MaxRounds {
+			return 0, r, fmt.Errorf("wire: monolith did not converge in %d rounds", s.MaxRounds)
+		}
+		for next < len(s.Ops) && s.Ops[next].Round == r {
+			if err := s.Ops[next].applyMonolith(nw); err != nil {
+				return 0, r, err
+			}
+			next++
+		}
+		nw.Step()
+		if next == len(s.Ops) && nw.Quiescent() {
+			return nw.StateFingerprint(nil), r, nil
+		}
+	}
+}

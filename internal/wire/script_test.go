@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScriptParseFormatRoundTrip(t *testing.T) {
+	text := `rechord-wire-script v1
+topo random 24 1701
+maxrounds 500
+# churn burst
+op 3 join 5a5a000000000001 contact 00119b2f4c81d3e6
+op 3 leave 00aa000000000002
+op 9 fail 77aa000000000003
+`
+	s, err := ParseScript(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Topology != "random" || s.N != 24 || s.Seed != 1701 || s.MaxRounds != 500 {
+		t.Fatalf("bad header fields: %+v", s)
+	}
+	if len(s.Ops) != 3 || s.Ops[0].Kind != OpJoin || s.Ops[1].Kind != OpLeave || s.Ops[2].Kind != OpFail {
+		t.Fatalf("bad ops: %+v", s.Ops)
+	}
+	// Format → Parse must be the identity (comments aside).
+	s2, err := ParseScript(bytes.NewReader(s.Format()))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !bytes.Equal(s.Format(), s2.Format()) {
+		t.Fatalf("format not stable:\n%s\nvs\n%s", s.Format(), s2.Format())
+	}
+}
+
+func TestScriptParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"bad header":        "not-a-script\n",
+		"no topo":           "rechord-wire-script v1\nmaxrounds 5\n",
+		"unknown topology":  "rechord-wire-script v1\ntopo moebius 8 1\n",
+		"bad size":          "rechord-wire-script v1\ntopo random zero 1\n",
+		"bad op kind":       "rechord-wire-script v1\ntopo random 8 1\nop 1 explode 0011223344556677\n",
+		"short id":          "rechord-wire-script v1\ntopo random 8 1\nop 1 leave 0011\n",
+		"join no contact":   "rechord-wire-script v1\ntopo random 8 1\nop 1 join 0011223344556677\n",
+		"rounds decrease":   "rechord-wire-script v1\ntopo random 8 1\nop 5 leave 0011223344556677\nop 2 leave 8811223344556677\n",
+		"zero round":        "rechord-wire-script v1\ntopo random 8 1\nop 0 leave 0011223344556677\n",
+		"unknown directive": "rechord-wire-script v1\ntopo random 8 1\nwarp 9\n",
+	}
+	for name, text := range cases {
+		s, err := ParseScript(strings.NewReader(text))
+		if err == nil {
+			// "unknown topology" parses; Build is where the name resolves.
+			if name == "unknown topology" {
+				if _, berr := s.Build(testConfig()); berr != nil {
+					continue
+				}
+			}
+			t.Errorf("%s: want error, got %+v", name, s)
+		}
+	}
+}
