@@ -21,6 +21,15 @@ ROUND_BENCH := BenchmarkStepSteadyState|BenchmarkRound$$|BenchmarkSnapshot|Bench
 # minutes at the larger size.
 WAKE_BENCH := BenchmarkWakeDependents/indexed
 
+# The barrier-split benchmark: prepare vs commit cost per batch under
+# the n=4096 hot-frontier transient, serial (Workers=1) vs sharded
+# (Workers=4). Tracked warn-only — its wall-clock carries the phase-3
+# parallelization story, but allocation counts vary with the worker
+# pool so it stays out of the -fail-allocs gate. (The benchmark also
+# has an n=16384 series for by-hand acceptance runs; only n=4096 is
+# recorded.)
+BARRIER_BENCH := BenchmarkBarrierCommit/.*/n=4096
+
 # Serving-layer benchmarks tracked in BENCH_lookups.json: cached vs
 # uncached table routing and the end-to-end workload engine.
 LOOKUP_BENCH := BenchmarkTableLookup|BenchmarkWorkload
@@ -88,7 +97,8 @@ bench:
 # frontier-proportional claim in numbers).
 bench-json:
 	{ $(GO) test -run '^$$' -bench '$(ROUND_BENCH)' -benchmem . ; \
-	  $(GO) test -run '^$$' -bench '$(WAKE_BENCH)' -benchmem -benchtime=1000x ./internal/rechord/ ; } \
+	  $(GO) test -run '^$$' -bench '$(WAKE_BENCH)' -benchmem -benchtime=1000x ./internal/rechord/ ; \
+	  $(GO) test -run '^$$' -bench '$(BARRIER_BENCH)' -benchmem -benchtime=1x ./internal/rechord/ ; } \
 	  | $(GO) run ./cmd/benchjson > BENCH_rounds.json
 	@echo wrote BENCH_rounds.json
 
@@ -140,6 +150,7 @@ bench-diff:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkStepSteadyState' -benchmem -benchtime=1000x . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkRound$$|BenchmarkSnapshot|BenchmarkChurnRecoveryLarge' -benchmem -benchtime=1x . ; \
 	  $(GO) test -run '^$$' -bench '$(WAKE_BENCH)' -benchmem -benchtime=1000x ./internal/rechord/ ; \
+	  $(GO) test -run '^$$' -bench '$(BARRIER_BENCH)' -benchmem -benchtime=1x ./internal/rechord/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkObsHotPath' -benchmem -benchtime=1000x ./internal/obs/ ; } \
 	  | $(GO) run ./cmd/benchjson > /tmp/bench_new_rounds.json
 	$(GO) run ./cmd/benchdiff -base BENCH_rounds.json -new /tmp/bench_new_rounds.json \

@@ -31,7 +31,7 @@ func heapAlloc() uint64 {
 // each size. ns/op is dominated by the settle run and is not the
 // tracked number; bytes/peer is.
 func BenchmarkMemoryPerPeer(b *testing.B) {
-	for _, n := range []int{1024, 4096} {
+	for _, n := range []int{1024, 4096, 16384} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			var perPeer float64
 			for i := 0; i < b.N; i++ {

@@ -128,7 +128,7 @@ func TestMetricsSnapshot(t *testing.T) {
 	if fired == 0 {
 		t.Fatal("no rule firings attributed (the seed stabilization fires rules)")
 	}
-	for _, phase := range []string{"deliver", "execute", "publish", "reroute"} {
+	for _, phase := range []string{"deliver", "execute", "prepare", "publish", "reroute"} {
 		if _, ok := s.Engine.PhaseNS[phase]; !ok {
 			t.Fatalf("phase %q missing from snapshot", phase)
 		}

@@ -56,13 +56,17 @@ type EngineMetrics struct {
 	RuleFired [NumRules]Counter
 	// Per-phase barrier wall-clock, in nanoseconds per batch. Deliver
 	// is phase 1 (inbox/bucket application and reference purging),
-	// Execute is phase 2 (the parallel rule run), Reroute is the time
-	// phase 3 spends inside the scheduler's route callback, and
-	// Publish is the rest of phase 3 (view/owner diffs, settle
-	// bookkeeping, dependent wakes) — the ROADMAP's "serial
-	// publish/reroute phase", now a measured series.
+	// Execute is phase 2 (the parallel rule run), Prepare is phase 3a
+	// (the parallel view-publish and output/dependency diffing),
+	// Reroute is phase 3b — the sharded bucket/index commit under the
+	// synchronous engine, or the time spent inside a serial scheduler's
+	// route callback — and Publish is the serial epilogue (settle
+	// bookkeeping, change-set merge, dependent wakes). The ROADMAP's
+	// "serial publish/reroute phase" is now the prepare+reroute pair,
+	// parallel and measured.
 	PhaseDeliver Hist
 	PhaseExecute Hist
+	PhasePrepare Hist
 	PhasePublish Hist
 	PhaseReroute Hist
 }
@@ -101,13 +105,14 @@ func (m *EngineMetrics) Snapshot() EngineSnapshot {
 		EpochBumps:      m.EpochBumps.Value(),
 		AsyncDeliveries: m.AsyncDeliveries.Value(),
 		RuleFired:       make(map[string]uint64, NumRules),
-		PhaseNS:         make(map[string]HistSummary, 4),
+		PhaseNS:         make(map[string]HistSummary, 5),
 	}
 	for i := range m.RuleFired {
 		s.RuleFired[RuleNames[i]] = m.RuleFired[i].Value()
 	}
 	s.PhaseNS["deliver"] = m.PhaseDeliver.Summary()
 	s.PhaseNS["execute"] = m.PhaseExecute.Summary()
+	s.PhaseNS["prepare"] = m.PhasePrepare.Summary()
 	s.PhaseNS["publish"] = m.PhasePublish.Summary()
 	s.PhaseNS["reroute"] = m.PhaseReroute.Summary()
 	return s

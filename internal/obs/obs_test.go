@@ -135,7 +135,7 @@ func sampleSnapshot() Snapshot {
 	for i := range em.RuleFired {
 		em.RuleFired[i].Add(uint64(10 * (i + 1)))
 	}
-	for _, h := range []*Hist{&em.PhaseDeliver, &em.PhaseExecute, &em.PhasePublish, &em.PhaseReroute} {
+	for _, h := range []*Hist{&em.PhaseDeliver, &em.PhaseExecute, &em.PhasePrepare, &em.PhasePublish, &em.PhaseReroute} {
 		h.Observe(1000)
 		h.Observe(2000)
 	}

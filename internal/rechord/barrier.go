@@ -1,0 +1,506 @@
+package rechord
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ident"
+	"repro/internal/ref"
+)
+
+// This file is the sharded round barrier: phase 3 of runBatch, split
+// into a parallel *prepare* sub-phase and an ownership-partitioned
+// *commit*, with a short serial epilogue. The ROADMAP's "serial
+// publish/reroute phase" — the last serial section of a batch — is
+// gone; what remains serial is O(frontier) bookkeeping (epoch stamps,
+// settle decisions, map merges), not the O(frontier x fanout) bucket
+// and index rewriting.
+//
+// The phases and their ownership story:
+//
+//   - Prepare (parallel over active indexes): each active peer i
+//     publishes its own view/level slot (view[slot], maxLv[slot] — no
+//     other peer's prepare reads them, rules only read the view during
+//     phase 2), computes outChanged/stateChanged and the paranoid
+//     cross-check verdict, and — for the synchronous engine — diffs
+//     its output against the recipients' standing buckets and its edge
+//     sets against its stored dependency multiset, writing the
+//     resulting bucket ops and index deltas ONLY into its own prepOut
+//     scratch. Buckets and the dep index are read, never written.
+//   - Commit (parallel over commit workers): recipients are
+//     partitioned by slot (slot % workers) and dependency-index shards
+//     by depShardOf(id) % workers, so every standing bucket, dirty
+//     flag and index shard has exactly one writing worker. Per-worker
+//     frontier appends and bucketMsgs tallies merge serially after.
+//   - Epilogue (serial, active order): epoch bumps (the global epoch
+//     clock is ordered state), settle bookkeeping, lastOut swaps,
+//     paranoid panics deferred out of pool goroutines, and the merge
+//     of per-index change sets into the reusable viewChanged/
+//     ownerChanged maps feeding wakeDependents.
+//
+// Why Workers=1 and Workers=N stay snapshot-for-snapshot identical:
+// every commit write is keyed by (sender handle, recipient slot) or
+// (referenced id, dependent slot) and each key is written at most once
+// per batch by construction (prepare emits at most one op per sender/
+// recipient pair), so the final buckets are order-independent; dep
+// index counts commute; the frontier is an order-insensitive SET (both
+// collectFrontier and the async drainFrontier sort by identifier
+// before consuming it); and everything order-sensitive — epoch stamps,
+// RNG-consuming route callbacks, telemetry — runs in the serial
+// epilogue in active (identifier) order, exactly as the old serial
+// phase 3 did. The event-driven schedulers (async, partition) keep
+// their route callbacks in the epilogue for the same reason: the async
+// route draws RNG per changed recipient and the partition route emits
+// ordered sink traffic, both of which must not depend on worker count.
+//
+// Dep-index deltas tolerate any application order within a shard: every
+// remove emitted by prepare refers to a reference that was counted in
+// the index before the batch (old bucket contents, old stateDeps
+// entries — disjoint categories), so at any prefix of any interleaving
+// the entry's count is at least the remaining removes and the underflow
+// panic cannot fire spuriously.
+
+// batchRun is the persistent fan-out machinery of runBatch: one task
+// closure, WaitGroup and work counter reused across every batch (the
+// old per-batch runOnPool closure allocated all three each round), plus
+// the lazily built per-phase closures, which read the batch parameters
+// from the Network's batch fields instead of capturing them.
+type batchRun struct {
+	wg   sync.WaitGroup
+	next atomic.Int64
+	n    int
+	f    func(i int)
+	task func()
+
+	// per-phase bodies, built once on first use
+	phase1, phase2, prepare, commit func(i int)
+
+	// anyInbox records that phase 1 consumed a one-shot message
+	// somewhere (a global-state change even when no peer state moved).
+	anyInbox atomic.Bool
+}
+
+// parallelism resolves Config.Workers: the worker count requested and
+// the pool size to lazily spawn (sized from the configuration, not
+// from any one round's frontier, so a small first round does not cap
+// later large rounds).
+func (nw *Network) parallelism() int {
+	w := nw.cfg.Workers
+	if w <= 0 {
+		w = defaultWorkers()
+	}
+	return w
+}
+
+// runParallel fans f(i) for i in [0, n) over the worker pool; f must
+// only touch per-index/per-peer state (or, for the commit phase,
+// state its index exclusively owns). w <= 1 — or a single item — runs
+// inline on the caller's goroutine, which is also what keeps paranoid
+// panics recoverable in the serial configuration.
+func (nw *Network) runParallel(w, poolSize, n int, f func(i int)) {
+	if n == 0 {
+		return
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	pool := nw.ensurePool(poolSize)
+	if w > pool.size {
+		w = pool.size
+	}
+	br := &nw.br
+	if br.task == nil {
+		br.task = func() {
+			defer br.wg.Done()
+			for {
+				i := int(br.next.Add(1)) - 1
+				if i >= br.n {
+					return
+				}
+				br.f(i)
+			}
+		}
+	}
+	br.n, br.f = n, f
+	br.next.Store(0)
+	br.wg.Add(w)
+	for k := 0; k < w; k++ {
+		pool.tasks <- br.task
+	}
+	br.wg.Wait()
+	br.f = nil // do not pin a stale closure between batches
+}
+
+// prepOut is the per-active-index output of the parallel prepare
+// sub-phase. Entries are reused across batches (sized alongside
+// results/pres and dropped with them when the frontier contracts).
+type prepOut struct {
+	ownerChanged bool // the peer's level span moved
+	outChanged   bool // total output differs from lastOut
+	stateChanged bool // the settle decision (content hashes moved)
+	paranoidBad  bool // clone cross-check disagreed; panic in epilogue
+
+	// viewRefs lists the virtual refs whose published rl/rr entry
+	// changed this batch (merged into the barrier's viewChanged map by
+	// the epilogue).
+	viewRefs []ref.Ref
+
+	// Synchronous-engine commit payload (empty for serial-route
+	// schedulers): the bucket rewrites this sender wants and the
+	// dep-index deltas they plus the peer's edge-set diff imply.
+	ops  []bucketOp
+	deps []depDelta
+
+	// scratch: recipient grouping (ops alias its msgs storage until the
+	// commit has run), deletion dedup, and the stateDeps diff buffers.
+	groups []rrGroup
+	dels   []ident.ID
+	owners []ident.ID
+	counts []ownerCount
+}
+
+// bucketOp is one standing-bucket rewrite: sender (implied by the
+// prepOut's index) replaces its contribution at the recipient slot.
+// nil msgs deletes the bucket. Ops exist only for buckets that
+// actually change, so applying one unconditionally rewrites.
+type bucketOp struct {
+	dstSlot uint32
+	delta   int32     // bucketMsgs adjustment (new len - old len)
+	msgs    []Message // aliases the prepOut's group storage
+}
+
+// depDelta is one inverted-index adjustment: k > 0 adds, k < 0 removes
+// references from the dependent slot to the identifier.
+type depDelta struct {
+	id   ident.ID
+	slot uint32
+	k    int32
+}
+
+// commitShard is one commit worker's private output: the frontier
+// slots it dirtied and its bucketMsgs adjustment, merged serially
+// after the commit barrier.
+type commitShard struct {
+	frontier   []uint32
+	bucketMsgs int
+}
+
+// prepareIndex is the parallel prepare body for active index i: the
+// publish diff, the settle verdicts, and (synchronous engine only) the
+// bucket ops and dep deltas the commit will apply. Writes touch only
+// the peer's own view/maxLv/stateDeps slots and prep[i].
+func (nw *Network) prepareIndex(i int) {
+	slot := nw.bActive[i]
+	n := nw.pt.nodes[slot]
+	res := &nw.results[i]
+	p := &nw.prep[i]
+	p.viewRefs = p.viewRefs[:0]
+	p.ops = p.ops[:0]
+	p.deps = p.deps[:0]
+	p.ownerChanged, p.paranoidBad = false, false
+
+	id := n.id
+	// Publish the peer's level so other peers' purges detect stale
+	// references to its deleted virtual nodes. Own-slot write: nothing
+	// else reads maxLv or the view during prepare.
+	oldMax := int(nw.pt.maxLv[slot])
+	newMax := n.MaxLevel()
+	if newMax != oldMax {
+		nw.pt.maxLv[slot] = int32(newMax)
+		p.ownerChanged = true
+	}
+	// Publish rl/rr changes (including entries of deleted levels).
+	vs := nw.view[slot]
+	for lvl := newMax + 1; lvl < len(vs); lvl++ {
+		if vs[lvl] != (viewEntry{}) {
+			p.viewRefs = append(p.viewRefs, ref.Virtual(id, lvl))
+		}
+	}
+	if len(vs) > newMax+1 {
+		vs = vs[:newMax+1]
+	}
+	for len(vs) <= newMax {
+		vs = append(vs, viewEntry{})
+	}
+	for lvl, v := range n.vnodes {
+		cur := viewEntry{}
+		if v != nil {
+			cur = publish(v)
+		}
+		if vs[lvl] != cur {
+			vs[lvl] = cur
+			p.viewRefs = append(p.viewRefs, ref.Virtual(id, lvl))
+		}
+	}
+	nw.view[slot] = vs
+
+	// The settle decision is the phase-2 hash comparison; ParanoidSettle
+	// re-derives it from the deep clone and insists they agree. The
+	// panic is deferred to the serial epilogue: a panic raised on a pool
+	// goroutine could not be recovered by the tests that prove the
+	// paranoid mode catches injected collisions.
+	p.stateChanged = false
+	if nw.bSettle {
+		p.stateChanged = res.hchanged
+		if nw.cfg.ParanoidSettle {
+			if cloneChanged := !n.vnodesEqual(nw.pres[i]); cloneChanged != p.stateChanged {
+				p.paranoidBad = true
+			}
+		}
+	}
+	p.outChanged = !sameMessages(res.out, n.lastOut)
+
+	if nw.bSync {
+		if res.hchanged {
+			// The peer's edge sets changed: re-derive its dependency
+			// contribution and turn the diff into commit deltas.
+			nw.prepStateDeps(slot, n, p)
+		}
+		if p.outChanged {
+			nw.prepReroute(n, res.out, p)
+		}
+	}
+}
+
+// prepStateDeps is refreshStateDeps recast for the parallel prepare:
+// the recomputed multiset replaces the peer's own stateDeps slot (an
+// own-slot write), and the index-side adjustments become deltas for
+// the sharded commit instead of direct mutations.
+func (nw *Network) prepStateDeps(slot uint32, n *RealNode, p *prepOut) {
+	buf := p.owners[:0]
+	for _, v := range n.vnodes {
+		if v == nil {
+			continue
+		}
+		for _, r := range v.Nu.Slice() {
+			buf = append(buf, r.Owner)
+		}
+		for _, r := range v.Nr.Slice() {
+			buf = append(buf, r.Owner)
+		}
+		for _, r := range v.Nc.Slice() {
+			buf = append(buf, r.Owner)
+		}
+	}
+	ident.Sort(buf)
+	p.owners = buf
+
+	nc := p.counts[:0]
+	for i := 0; i < len(buf); {
+		j := i
+		for j < len(buf) && buf[j] == buf[i] {
+			j++
+		}
+		nc = append(nc, ownerCount{owner: buf[i], cnt: uint32(j - i)})
+		i = j
+	}
+	p.counts = nc
+
+	old := nw.stateDeps[slot]
+	i, j := 0, 0
+	for i < len(old) || j < len(nc) {
+		switch {
+		case j == len(nc) || (i < len(old) && old[i].owner < nc[j].owner):
+			p.deps = append(p.deps, depDelta{id: old[i].owner, slot: slot, k: -int32(old[i].cnt)})
+			i++
+		case i == len(old) || nc[j].owner < old[i].owner:
+			p.deps = append(p.deps, depDelta{id: nc[j].owner, slot: slot, k: int32(nc[j].cnt)})
+			j++
+		default:
+			if nc[j].cnt != old[i].cnt {
+				p.deps = append(p.deps, depDelta{id: nc[j].owner, slot: slot, k: int32(nc[j].cnt) - int32(old[i].cnt)})
+			}
+			i++
+			j++
+		}
+	}
+	nw.stateDeps[slot] = append(old[:0], nc...)
+}
+
+// prepReroute is the read-only half of the old reroute: group the
+// sender's output by recipient (preserving per-recipient emission
+// order), diff each contribution against the current standing bucket,
+// and emit one bucketOp plus the implied dep deltas per changed
+// recipient. Buckets are only read here — concurrent prepares may read
+// the same recipient's map — and the op msgs alias this prepOut's own
+// group storage, which stays untouched until the commit has run.
+func (nw *Network) prepReroute(n *RealNode, out []Message, p *prepOut) {
+	groups := p.groups
+	ng := 0
+	for _, m := range out {
+		owner := m.To.Owner
+		lo, hi := 0, ng
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if groups[mid].owner < owner {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == ng || groups[lo].owner != owner {
+			if ng == len(groups) {
+				groups = append(groups, rrGroup{})
+			}
+			ins := groups[ng] // recycle the spare entry's msgs buffer
+			copy(groups[lo+1:ng+1], groups[lo:ng])
+			ins.owner = owner
+			ins.msgs = ins.msgs[:0]
+			groups[lo] = ins
+			ng++
+		}
+		groups[lo].msgs = append(groups[lo].msgs, m)
+	}
+	p.groups = groups
+	// Previous recipients with no new contribution get their bucket
+	// deleted. lastOut may repeat an owner, so deletions are
+	// deduplicated here (the serial rerouteOne absorbed duplicates as
+	// no-ops; an op stream must not double-count the delta).
+	dels := p.dels[:0]
+	for _, m := range n.lastOut {
+		owner := m.To.Owner
+		lo, hi := 0, ng
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if groups[mid].owner < owner {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < ng && groups[lo].owner == owner {
+			continue
+		}
+		lo, hi = 0, len(dels)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if dels[mid] < owner {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(dels) && dels[lo] == owner {
+			continue
+		}
+		dels = append(dels, 0)
+		copy(dels[lo+1:], dels[lo:])
+		dels[lo] = owner
+	}
+	p.dels = dels
+	h := n.h()
+	for _, owner := range dels {
+		nw.prepOneOp(h, owner, nil, p)
+	}
+	for g := 0; g < ng; g++ {
+		nw.prepOneOp(h, groups[g].owner, groups[g].msgs, p)
+	}
+}
+
+// prepOneOp diffs one (sender, recipient) contribution and, if it
+// changed, records the rewrite and its dep deltas. Mirrors rerouteOne's
+// decisions exactly, split at the read/write boundary.
+func (nw *Network) prepOneOp(sender handle, dstID ident.ID, newB []Message, p *prepOut) {
+	slot, ok := nw.pt.lookup(dstID)
+	if !ok {
+		return // destination departed
+	}
+	oldB := nw.pt.nodes[slot].in[sender]
+	if sameMessages(oldB, newB) {
+		return
+	}
+	p.ops = append(p.ops, bucketOp{dstSlot: slot, delta: int32(len(newB) - len(oldB)), msgs: newB})
+	for _, m := range oldB {
+		p.deps = append(p.deps, depDelta{id: m.Add.Owner, slot: slot, k: -1})
+	}
+	for _, m := range newB {
+		p.deps = append(p.deps, depDelta{id: m.Add.Owner, slot: slot, k: 1})
+	}
+}
+
+// commitWorker applies the shard owned by commit worker w: bucket ops
+// whose recipient slot it owns and dep deltas whose index shard it
+// owns. Scanning every prepOut is cheap relative to applying (ops are
+// only emitted for changed buckets); the writes are the expensive part
+// and they are perfectly partitioned.
+func (nw *Network) commitWorker(w int) {
+	C := nw.commitW
+	sh := &nw.commit[w]
+	sh.bucketMsgs = 0
+	sh.frontier = sh.frontier[:0]
+	uw := uint32(w)
+	uc := uint32(C)
+	for i := range nw.bActive {
+		p := &nw.prep[i]
+		if len(p.ops) > 0 {
+			h := nw.pt.nodes[nw.bActive[i]].h()
+			for k := range p.ops {
+				op := &p.ops[k]
+				if op.dstSlot%uc != uw {
+					continue
+				}
+				nw.commitBucketOp(w, h, op, sh)
+			}
+		}
+		for _, d := range p.deps {
+			if depShardOf(d.id)%uc != uw {
+				continue
+			}
+			nw.commitDepDelta(w, d)
+		}
+	}
+}
+
+// commitBucketOp rewrites one standing bucket. The ownership audit
+// (under ParanoidSettle) re-derives the op's owner from the slot
+// partition and panics on a cross-shard write: the selection filter in
+// commitWorker and this check must agree by construction, so a firing
+// audit means the partitioning itself regressed.
+func (nw *Network) commitBucketOp(w int, sender handle, op *bucketOp, sh *commitShard) {
+	if nw.cfg.ParanoidSettle && int(op.dstSlot)%nw.commitW != w {
+		panic(fmt.Sprintf("rechord: cross-shard bucket write: slot %d belongs to commit worker %d, written by %d",
+			op.dstSlot, int(op.dstSlot)%nw.commitW, w))
+	}
+	dst := nw.pt.nodes[op.dstSlot]
+	sh.bucketMsgs += int(op.delta)
+	if len(op.msgs) == 0 {
+		delete(dst.in, sender)
+	} else {
+		if dst.in == nil {
+			dst.in = make(map[handle][]Message)
+		}
+		b := dst.in[sender][:0]
+		if cap(b) > 2*len(op.msgs)+8 {
+			// The convergence transient can leave buckets with peak
+			// capacities far above their steady content; right-size
+			// instead of pinning the spike forever.
+			b = nil
+		}
+		dst.in[sender] = append(b, op.msgs...)
+	}
+	if !dst.dirty {
+		dst.dirty = true
+		sh.frontier = append(sh.frontier, op.dstSlot)
+	}
+}
+
+// commitDepDelta applies one inverted-index adjustment, with the same
+// cross-shard audit as the bucket path.
+func (nw *Network) commitDepDelta(w int, d depDelta) {
+	if nw.cfg.ParanoidSettle && int(depShardOf(d.id))%nw.commitW != w {
+		panic(fmt.Sprintf("rechord: cross-shard dep write: id %s belongs to commit worker %d, written by %d",
+			d.id, int(depShardOf(d.id))%nw.commitW, w))
+	}
+	if d.k > 0 {
+		nw.deps.add(d.id, d.slot, uint32(d.k))
+	} else {
+		nw.deps.remove(d.id, d.slot, uint32(-d.k))
+	}
+}

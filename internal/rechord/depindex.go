@@ -48,11 +48,38 @@ type depEntry struct {
 	cnt  uint32
 }
 
-// depIndex maps identifiers to their dependents. Identifiers get dense
-// keys through keyOf (recycled via a free list when their last
-// dependent disappears); each dependents list is kept sorted by slot so
-// updates are binary searches.
+// depShardCount fixes the number of internal index shards. It is a
+// property of the data structure, not of Config.Workers: the sharded
+// barrier commit (see barrier.go) partitions the shard space over
+// however many commit workers a batch runs, so the stored state is
+// identical for every worker count. 16 shards keep the partition
+// balanced for any plausible core count while the per-shard maps stay
+// dense.
+const depShardCount = 16
+
+// depShardOf maps a referenced identifier to its index shard. The
+// multiplicative mix spreads structured test identifiers as well as the
+// uniform random ones; the function is pure, so shard ownership is a
+// static property of the identifier.
+func depShardOf(id ident.ID) uint32 {
+	return uint32((uint64(id) * 0x9E3779B97F4A7C15) >> 60)
+}
+
+// depIndex maps identifiers to their dependents, split into
+// depShardCount independent shards keyed by depShardOf. Within a shard,
+// identifiers get dense keys through keyOf (recycled via a free list
+// when their last dependent disappears); each dependents list is kept
+// sorted by slot so updates are binary searches. Two mutations touching
+// different shards are independent — the property the barrier's
+// parallel commit relies on (each commit worker owns a disjoint set of
+// shards). Reference counts commute, so the stored state after a batch
+// of deltas is independent of application order within a shard too.
 type depIndex struct {
+	shards [depShardCount]depShard
+}
+
+// depShard is one independent slice of the index.
+type depShard struct {
 	keyOf map[ident.ID]uint32
 	deps  [][]depEntry
 	free  []uint32
@@ -60,24 +87,28 @@ type depIndex struct {
 
 // add records k more references from the peer slot to id.
 func (d *depIndex) add(id ident.ID, peer uint32, k uint32) {
+	d.shards[depShardOf(id)].add(id, peer, k)
+}
+
+func (s *depShard) add(id ident.ID, peer uint32, k uint32) {
 	if k == 0 {
 		return
 	}
-	if d.keyOf == nil {
-		d.keyOf = make(map[ident.ID]uint32)
+	if s.keyOf == nil {
+		s.keyOf = make(map[ident.ID]uint32)
 	}
-	key, ok := d.keyOf[id]
+	key, ok := s.keyOf[id]
 	if !ok {
-		if n := len(d.free); n > 0 {
-			key = d.free[n-1]
-			d.free = d.free[:n-1]
+		if n := len(s.free); n > 0 {
+			key = s.free[n-1]
+			s.free = s.free[:n-1]
 		} else {
-			key = uint32(len(d.deps))
-			d.deps = append(d.deps, nil)
+			key = uint32(len(s.deps))
+			s.deps = append(s.deps, nil)
 		}
-		d.keyOf[id] = key
+		s.keyOf[id] = key
 	}
-	l := d.deps[key]
+	l := s.deps[key]
 	i := sort.Search(len(l), func(i int) bool { return l[i].peer >= peer })
 	if i < len(l) && l[i].peer == peer {
 		l[i].cnt += k
@@ -86,21 +117,25 @@ func (d *depIndex) add(id ident.ID, peer uint32, k uint32) {
 	l = append(l, depEntry{})
 	copy(l[i+1:], l[i:])
 	l[i] = depEntry{peer: peer, cnt: k}
-	d.deps[key] = l
+	s.deps[key] = l
 }
 
 // remove forgets k references from the peer slot to id, panicking on
 // underflow: an underflow means some maintenance point missed an update
 // and the index no longer mirrors the true state.
 func (d *depIndex) remove(id ident.ID, peer uint32, k uint32) {
+	d.shards[depShardOf(id)].remove(id, peer, k)
+}
+
+func (s *depShard) remove(id ident.ID, peer uint32, k uint32) {
 	if k == 0 {
 		return
 	}
-	key, ok := d.keyOf[id]
+	key, ok := s.keyOf[id]
 	var l []depEntry
 	var i int
 	if ok {
-		l = d.deps[key]
+		l = s.deps[key]
 		i = sort.Search(len(l), func(i int) bool { return l[i].peer >= peer })
 	}
 	if !ok || i >= len(l) || l[i].peer != peer || l[i].cnt < k {
@@ -109,10 +144,10 @@ func (d *depIndex) remove(id ident.ID, peer uint32, k uint32) {
 	l[i].cnt -= k
 	if l[i].cnt == 0 {
 		l = append(l[:i], l[i+1:]...)
-		d.deps[key] = l
+		s.deps[key] = l
 		if len(l) == 0 {
-			delete(d.keyOf, id)
-			d.free = append(d.free, key)
+			delete(s.keyOf, id)
+			s.free = append(s.free, key)
 		}
 	}
 }
@@ -121,8 +156,9 @@ func (d *depIndex) remove(id ident.ID, peer uint32, k uint32) {
 // returned slice aliases the index; callers must not hold it across
 // mutations.
 func (d *depIndex) dependents(id ident.ID) []depEntry {
-	if key, ok := d.keyOf[id]; ok {
-		return d.deps[key]
+	s := &d.shards[depShardOf(id)]
+	if key, ok := s.keyOf[id]; ok {
+		return s.deps[key]
 	}
 	return nil
 }
@@ -151,11 +187,13 @@ func (nw *Network) depRemoveMsgs(peer uint32, ms []Message) {
 
 // refreshStateDeps recomputes the peer's edge-set dependency multiset
 // and applies the delta against the stored one to the inverted index.
-// Called at the barrier for peers whose content hash changed, and at
-// every out-of-band state mutation. Serial only (the index is not
-// thread-safe); the cost is linear in the peer's own edge sets — the
-// same work the old full scan spent on this one peer, now spent only
-// when the peer actually changed.
+// Called at the barrier for peers whose content hash changed (the
+// serial-route schedulers; the synchronous engine's sharded barrier
+// computes the same delta in parallel via prepStateDeps, see
+// barrier.go) and at every out-of-band state mutation. Serial only (it
+// mutates index shards directly); the cost is linear in the peer's own
+// edge sets — the same work the old full scan spent on this one peer,
+// now spent only when the peer actually changed.
 func (nw *Network) refreshStateDeps(slot uint32, n *RealNode) {
 	buf := nw.depOwners[:0]
 	for _, v := range n.vnodes {

@@ -237,6 +237,46 @@ func TestN131072ConvergesToIdeal(t *testing.T) {
 	}
 }
 
+// TestN262144ConvergesToIdeal is the rung the sharded barrier opens:
+// one doubling past n=131072. The bound resource at this size is the
+// phase-3 publish — every active peer rewriting its standing
+// contributions into its recipients' buckets — which the barrier now
+// splits into a parallel prepare (per-peer diffing, no shared writes)
+// and an ownership-partitioned commit (recipients sharded by slot
+// across workers), so wall-clock scales down with cores while the
+// result stays bit-identical to Workers=1 (see
+// TestWorkersLockstepChurn). On a single core the rung is ~2.5-3h of
+// settle work; the budget check keeps a plain `go test ./...` green.
+func TestN262144ConvergesToIdeal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=262144 convergence skipped with -short (see TestCompactHandleSmoke for the CI tier)")
+	}
+	needBudget(t, 210*time.Minute)
+	const n = 262144
+	nw, ids, perPeer := settle(t, n)
+	if err := rechord.ComputeIdeal(ids).Matches(nw); err != nil {
+		t.Fatalf("n=%d converged to wrong state: %v", n, err)
+	}
+	// Same ceiling as n=131072: footprint grows ~log n with the level
+	// count, and a doubling adds one level, so the 80 KiB/peer bound
+	// still holds with margin (~12 GiB resident total at this size).
+	if perPeer > 80*1024 {
+		t.Errorf("resident state = %.0f bytes/peer, want well under the map layout's footprint", perPeer)
+	}
+
+	start := time.Now()
+	const extra = 1000
+	for i := 0; i < extra; i++ {
+		nw.Step()
+	}
+	if per := time.Since(start) / extra; per > time.Millisecond {
+		t.Errorf("quiescent round cost %v at n=%d, want O(1)", per, n)
+	}
+	if nw.FrontierSize() != 0 {
+		t.Fatal("quiescent rounds re-dirtied peers")
+	}
+}
+
 // TestAsyncN8192ConvergesToIdeal raises the asynchronous tier past
 // the largescale suite's n=2048: the event-driven runner — activation
 // probability 0.5, messages delayed up to 3 steps — must settle

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -118,8 +116,10 @@ type Network struct {
 	deps      depIndex
 	stateDeps [][]ownerCount
 
-	// depOwners/depCounts are refreshStateDeps scratch (serial barrier
-	// phase only).
+	// depOwners/depCounts are refreshStateDeps scratch (serial-route
+	// schedulers' barriers and out-of-band mutation points only; the
+	// synchronous engine diffs into per-index prep scratch instead, see
+	// barrier.go).
 	depOwners []ident.ID
 	depCounts []ownerCount
 
@@ -147,10 +147,33 @@ type Network struct {
 	results []nodeResult
 	pres    [][]*VNode
 
-	// reroute scratch (serial barrier phase only): per-recipient groups
-	// of the sender's output and the previous recipients' owner list.
-	// Replaces two maps per rerouted peer per round; group buffers are
-	// recycled across calls.
+	// prep holds the per-active-index scratch of the parallel prepare
+	// sub-phase and commit the per-worker commit outputs (see
+	// barrier.go); both reuse their buffers across batches and are
+	// dropped together with results/pres when the frontier contracts.
+	prep   []prepOut
+	commit []commitShard
+
+	// br is the persistent batch fan-out machinery (task closure,
+	// WaitGroup, work counter, per-phase bodies) reused across batches;
+	// bActive/bSettle/bSync/commitW are the running batch's parameters,
+	// read by br's persistent closures instead of being captured fresh
+	// every batch.
+	br      batchRun
+	bActive []uint32
+	bSettle bool
+	bSync   bool
+	commitW int
+
+	// ownerChangedB/viewChangedB are the reusable per-barrier change
+	// sets feeding wakeDependents and onBarrier — cleared, never
+	// reallocated, after each batch.
+	ownerChangedB map[ident.ID]bool
+	viewChangedB  map[ref.Ref]bool
+
+	// rrGroups is rerouteWith scratch (serial-route schedulers only):
+	// per-recipient groups of the sender's output. Replaces two maps per
+	// rerouted peer per round; group buffers are recycled across calls.
 	rrGroups []rrGroup
 
 	// met is the engine's always-on telemetry (shared with any
@@ -610,6 +633,10 @@ type workerPool struct {
 	size  int
 }
 
+// defaultWorkers is the Config.Workers=0 parallelism: one worker per
+// schedulable CPU.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
 func (nw *Network) ensurePool(workers int) *workerPool {
 	if nw.pool == nil {
 		p := &workerPool{tasks: make(chan func()), size: workers}
@@ -656,7 +683,7 @@ func (nw *Network) Step() RoundStats {
 		return stats
 	}
 
-	if nw.runBatch(active, !nw.cfg.FullSweep, nw.syncRoute, &stats) {
+	if nw.runBatch(active, !nw.cfg.FullSweep, nil, &stats) {
 		nw.lastChange = nw.round
 	}
 	stats.MessagesSent = nw.bucketMsgs
@@ -692,104 +719,73 @@ func (nw *Network) sortSlotsByID(slots []uint32) {
 }
 
 // runBatch executes one phased batch over the active (sorted) peers:
-// deliver and purge serially, run rules 1-6 in parallel, then publish
-// level and rl/rr diffs, route changed outputs, settle unchanged peers
-// and wake dependents at the barrier. It reports whether the global
+// deliver and purge in parallel, run rules 1-6 in parallel, prepare the
+// publish/settle/reroute diffs in parallel, commit them through the
+// sharded barrier (see barrier.go), then settle unchanged peers and
+// wake dependents in the serial epilogue. It reports whether the global
 // state changed.
 //
 // The route callback is the only point where the synchronous and
-// asynchronous schedulers differ: it is called for every executed peer
-// with its output and whether that output changed. The round engine
-// rewrites the standing buckets in place on change (reroute — the
-// output is visible at every recipient next round), while the
-// asynchronous scheduler routes each changed per-recipient
-// contribution through its delay model and installs run-stable ones as
-// buckets. With settle=false (the full sweep) no pre-round copy is
-// kept: every executed peer is re-stamped and none leaves the frontier
-// early.
+// asynchronous schedulers differ. nil selects the synchronous engine:
+// changed outputs are committed into the recipients' standing buckets
+// by the sharded commit (the output is visible at every recipient next
+// round). A non-nil callback — the asynchronous scheduler's delay-model
+// routing, the partitioned scheduler's sink mirroring — runs serially
+// in the epilogue, in active order, for every executed peer with its
+// output and whether that output changed: RNG consumption and sink
+// emission order must not depend on the worker count. With settle=false
+// (the full sweep) no settle decision is made: every executed peer is
+// re-stamped and none leaves the frontier early.
 func (nw *Network) runBatch(active []uint32, settle bool, route func(n *RealNode, out []Message, outChanged, stateChanged bool), stats *RoundStats) bool {
 	t0 := time.Now()
-	// Phase 1 (serial): deliver and purge the active peers, keeping a
-	// pre-round copy of their own state for the settle check.
+	syncCommit := route == nil
 	if cap(nw.results) < len(active) {
 		nw.results = make([]nodeResult, len(active))
 		pres := make([][]*VNode, len(active))
 		copy(pres, nw.pres)
 		nw.pres = pres
+		prep := make([]prepOut, len(active))
+		copy(prep, nw.prep)
+		nw.prep = prep
 	}
 	results := nw.results[:len(active)]
-	pres := nw.pres[:len(active)]
 	changed := false
 
-	workers := nw.cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	workers := nw.parallelism()
+	nw.bActive, nw.bSettle, nw.bSync = active, settle, syncCommit
+	if nw.ownerChangedB == nil {
+		nw.ownerChangedB = make(map[ident.ID]bool)
+		nw.viewChangedB = make(map[ref.Ref]bool)
 	}
-	// The pool is sized once from the configured parallelism, not from
-	// this round's frontier, so a small first round does not cap later
-	// large rounds.
-	poolSize := workers
-	if workers > len(active) {
-		workers = len(active)
-	}
+	br := &nw.br
 
-	// runOnPool fans f(i) for i in [0, len(active)) over the worker
-	// pool; f must only touch per-index/per-peer state.
-	runOnPool := func(f func(i int)) {
-		pool := nw.ensurePool(poolSize)
-		w := workers
-		if w > pool.size {
-			w = pool.size
-		}
-		var wg sync.WaitGroup
-		var next atomic.Int64
-		wg.Add(w)
-		task := func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(active) {
-					return
-				}
-				f(i)
+	// Phase 1 (parallel): deliver and purge the active peers. The
+	// settle check compares the stored content hashes (which describe
+	// the pre-round state by invariant) against a phase-2
+	// recomputation, so no pre-round copy is needed; under
+	// ParanoidSettle the old deep clone is kept alongside to
+	// cross-check every settle decision. Every step touches only the
+	// peer's own state (purge reads the interner's tables, which phase
+	// 1 never writes), so large batches fan out over the pool like the
+	// rule phase does.
+	if br.phase1 == nil {
+		br.phase1 = func(i int) {
+			n := nw.pt.nodes[nw.bActive[i]]
+			if nw.bSettle && nw.cfg.ParanoidSettle {
+				nw.pres[i] = n.cloneVNodes(nw.pres[i])
 			}
+			if len(n.inbox) > 0 {
+				// Consuming a one-shot message changes the global state
+				// even when the peer's own state ends up unchanged.
+				br.anyInbox.Store(true)
+			}
+			nw.results[i].delivered = nw.deliver(n)
+			nw.purge(n)
 		}
-		for k := 0; k < w; k++ {
-			pool.tasks <- task
-		}
-		wg.Wait()
 	}
-
-	// Phase 1: deliver and purge the active peers. The settle check
-	// compares the stored content hashes (which describe the pre-round
-	// state by invariant) against a phase-2 recomputation, so no
-	// pre-round copy is needed; under ParanoidSettle the old deep clone
-	// is kept alongside to cross-check every settle decision. Every
-	// step touches only the peer's own state (purge reads the
-	// interner's tables, which phase 1 never writes), so large batches
-	// fan out over the pool like the rule phase does.
-	var anyInbox atomic.Bool
-	phase1 := func(i int) {
-		n := nw.pt.nodes[active[i]]
-		if settle && nw.cfg.ParanoidSettle {
-			pres[i] = n.cloneVNodes(pres[i])
-		}
-		if len(n.inbox) > 0 {
-			// Consuming a one-shot message changes the global state
-			// even when the peer's own state ends up unchanged.
-			anyInbox.Store(true)
-		}
-		results[i].delivered = nw.deliver(n)
-		nw.purge(n)
-	}
-	if workers <= 1 {
-		for i := range active {
-			phase1(i)
-		}
-	} else {
-		runOnPool(phase1)
-	}
-	if anyInbox.Load() {
+	br.anyInbox.Store(false)
+	nw.runParallel(workers, workers, len(active), br.phase1)
+	if br.anyInbox.Load() {
 		changed = true
 	}
 	tDeliver := time.Now()
@@ -800,121 +796,108 @@ func (nw *Network) runBatch(active []uint32, settle bool, route func(n *RealNode
 	// view of published rl/rr values (the hash refresh writes only the
 	// peer's own vhash slot), so execution order is irrelevant. The
 	// phase-1 delivery tally rides through the overwrite.
-	if workers <= 1 {
-		for i, slot := range active {
+	if br.phase2 == nil {
+		br.phase2 = func(i int) {
+			slot := nw.bActive[i]
 			n := nw.pt.nodes[slot]
-			d := results[i].delivered
-			results[i] = nw.runRules(n, n.scratch.out[:0])
-			results[i].delivered = d
-			results[i].hchanged = nw.refreshHashSlot(slot, n)
+			d := nw.results[i].delivered
+			nw.results[i] = nw.runRules(n, n.scratch.out[:0])
+			nw.results[i].delivered = d
+			nw.results[i].hchanged = nw.refreshHashSlot(slot, n)
 		}
-	} else {
-		runOnPool(func(i int) {
-			n := nw.pt.nodes[active[i]]
-			d := results[i].delivered
-			results[i] = nw.runRules(n, n.scratch.out[:0])
-			results[i].delivered = d
-			results[i].hchanged = nw.refreshHashSlot(active[i], n)
-		})
 	}
+	nw.runParallel(workers, workers, len(active), br.phase2)
 	tExecute := time.Now()
 
-	// Phase 3 (serial barrier): publish level and rl/rr changes, route
-	// changed outputs into the recipients' standing buckets, and settle
-	// peers whose round was a no-op.
-	var viewChanged map[ref.Ref]bool
-	var ownerChanged map[ident.ID]bool
+	// Phase 3a (parallel): prepare — publish each peer's own view and
+	// level slot, take the settle and output-change verdicts, and (for
+	// the synchronous engine) turn the output and edge-set diffs into
+	// bucket ops and dep-index deltas in per-index scratch. See
+	// barrier.go for the ownership story.
+	if br.prepare == nil {
+		br.prepare = func(i int) { nw.prepareIndex(i) }
+	}
+	nw.runParallel(workers, workers, len(active), br.prepare)
+	tPrepare := time.Now()
+
+	// Phase 3b (parallel, synchronous engine only): the sharded commit.
+	// Recipient slots and dep-index shards are partitioned across the
+	// commit workers, so every standing bucket, dirty flag and index
+	// shard has exactly one writer; per-worker frontier appends and
+	// bucketMsgs tallies merge serially right after. The commit span is
+	// the engine's reroute time.
+	var rerouteNS time.Duration
+	if syncCommit {
+		C := workers
+		nw.commitW = C
+		if len(nw.commit) < C {
+			commit := make([]commitShard, C)
+			copy(commit, nw.commit)
+			nw.commit = commit
+		}
+		if br.commit == nil {
+			br.commit = func(w int) { nw.commitWorker(w) }
+		}
+		nw.runParallel(C, workers, C, br.commit)
+		for w := 0; w < C; w++ {
+			sh := &nw.commit[w]
+			nw.bucketMsgs += sh.bucketMsgs
+			nw.frontier = append(nw.frontier, sh.frontier...)
+		}
+		rerouteNS = time.Since(tPrepare)
+	}
+
+	// Phase 3c (serial epilogue, active order): everything that is
+	// ordered state — epoch stamps, settle bookkeeping, the change-set
+	// merge, the serial route callbacks — plus the paranoid verdicts
+	// deferred out of the pool goroutines.
+	ownerChanged, viewChanged := nw.ownerChangedB, nw.viewChangedB
 	// Batch-local telemetry tallies: plain integers here, one atomic
 	// add per counter at the barrier flush below.
 	var ruleFired [obs.NumRules]uint64
 	var deliveredN, settledN, unsettledN, epochBumpN int
-	var rerouteNS time.Duration
 	for i, slot := range active {
 		n := nw.pt.nodes[slot]
-		id := n.id
-		res := results[i]
+		res := &results[i]
+		p := &nw.prep[i]
 		stats.VirtualMade += res.made
 		stats.VirtualKilled += res.killed
 		deliveredN += res.delivered
 		for k, f := range res.fired {
 			ruleFired[k] += uint64(f)
 		}
-
-		// Publish the peer's level so other peers' purges detect stale
-		// references to its deleted virtual nodes.
-		oldMax := int(nw.pt.maxLv[slot])
-		newMax := n.MaxLevel()
-		if newMax != oldMax {
-			nw.pt.maxLv[slot] = int32(newMax)
-			if ownerChanged == nil {
-				ownerChanged = make(map[ident.ID]bool)
+		if p.paranoidBad {
+			panic(fmt.Sprintf("rechord: settle hash says changed=%v but clone compare says %v for peer %s", p.stateChanged, !p.stateChanged, n.id))
+		}
+		if settle && nw.cfg.ParanoidSettle {
+			nw.pres[i] = nw.pres[i][:0] // keep the buffer for the next batch
+		}
+		if p.ownerChanged {
+			ownerChanged[n.id] = true
+		}
+		for _, r := range p.viewRefs {
+			viewChanged[r] = true
+		}
+		if !syncCommit {
+			if res.hchanged {
+				// The peer's edge sets changed: re-derive its dependency
+				// contribution and diff it into the inverted index.
+				nw.refreshStateDeps(slot, n)
 			}
-			ownerChanged[id] = true
-		}
-		// Publish rl/rr changes (including entries of deleted levels).
-		vs := nw.view[slot]
-		for lvl := newMax + 1; lvl < len(vs); lvl++ {
-			if vs[lvl] != (viewEntry{}) {
-				if viewChanged == nil {
-					viewChanged = make(map[ref.Ref]bool)
-				}
-				viewChanged[ref.Virtual(id, lvl)] = true
-			}
-		}
-		if len(vs) > newMax+1 {
-			vs = vs[:newMax+1]
-		}
-		for len(vs) <= newMax {
-			vs = append(vs, viewEntry{})
-		}
-		for lvl, v := range n.vnodes {
-			cur := viewEntry{}
-			if v != nil {
-				cur = publish(v)
-			}
-			if vs[lvl] != cur {
-				vs[lvl] = cur
-				if viewChanged == nil {
-					viewChanged = make(map[ref.Ref]bool)
-				}
-				viewChanged[ref.Virtual(id, lvl)] = true
-			}
-		}
-		nw.view[slot] = vs
-
-		// Route the output. Only contributions that differ from the
-		// standing buckets touch memory or wake recipients. The settle
-		// decision is the phase-2 hash comparison; ParanoidSettle
-		// re-derives it from the deep clone and insists they agree.
-		stateChanged := false
-		if settle {
-			stateChanged = res.hchanged
-			if nw.cfg.ParanoidSettle {
-				if cloneChanged := !n.vnodesEqual(pres[i]); cloneChanged != stateChanged {
-					panic(fmt.Sprintf("rechord: settle hash says changed=%v but clone compare says %v for peer %s", stateChanged, cloneChanged, id))
-				}
-				pres[i] = pres[i][:0] // keep the buffer for the next batch
-			}
-		}
-		if res.hchanged {
-			// The peer's edge sets changed: re-derive its dependency
-			// contribution and diff it into the inverted index.
-			nw.refreshStateDeps(slot, n)
+			rt := time.Now()
+			route(n, res.out, p.outChanged, p.stateChanged)
+			rerouteNS += time.Since(rt)
 		}
 		out := res.out
-		outChanged := !sameMessages(out, n.lastOut)
-		rt := time.Now()
-		route(n, out, outChanged, stateChanged)
-		rerouteNS += time.Since(rt)
-		if outChanged {
+		if p.outChanged {
 			changed = true
 		}
 		if settle {
-			if stateChanged {
+			if p.stateChanged {
 				nw.bumpEpoch(n)
 				epochBumpN++
 			}
-			if outChanged || stateChanged {
+			if p.outChanged || p.stateChanged {
 				// Not a local fixed point yet: stay on the frontier.
 				nw.markDirtyIdx(slot)
 				changed = true
@@ -938,7 +921,7 @@ func (nw *Network) runBatch(active []uint32, settle bool, route func(n *RealNode
 			lo = nil
 		}
 		n.lastOut = append(lo, out...)
-		if settle && !outChanged && !stateChanged {
+		if settle && !p.outChanged && !p.stateChanged {
 			// Local fixed point: the peer just left the frontier, and
 			// its rule scratch is re-derivable on the next wake.
 			// Releasing it means a settled peer holds only protocol
@@ -961,20 +944,23 @@ func (nw *Network) runBatch(active []uint32, settle bool, route func(n *RealNode
 		if nw.onBarrier != nil {
 			nw.onBarrier(ownerChanged, viewChanged)
 		}
+		clear(ownerChanged)
+		clear(viewChanged)
 	}
 	// Drop the batch arrays (and the vnode clones pinned by the settle
-	// buffers) once the frontier has contracted well below their
-	// capacity: keeping them would retain a near-full copy of the
-	// network's peak-round state for the rest of the run.
+	// buffers, and the message buffers pinned by the prep scratch) once
+	// the frontier has contracted well below their capacity: keeping
+	// them would retain a near-full copy of the network's peak-round
+	// state for the rest of the run.
 	if len(active)*4 < cap(nw.results) {
-		nw.results, nw.pres = nil, nil
+		nw.results, nw.pres, nw.prep = nil, nil, nil
 	}
 
 	// Barrier flush: one atomic add per counter for the whole batch.
-	// The publish series is phase 3 minus the time spent inside the
-	// scheduler's route callback; it still includes the settle
-	// bookkeeping and the dependent wakes, which share the serial
-	// barrier with publishing.
+	// The publish series is the serial epilogue minus the time spent
+	// inside the scheduler's route callback; it still includes the
+	// settle bookkeeping and the dependent wakes, which share the
+	// serial barrier with the change-set merge.
 	m := &nw.met
 	m.Batches.Inc()
 	m.Activated.Add(uint64(len(active)))
@@ -991,34 +977,22 @@ func (nw *Network) runBatch(active []uint32, settle bool, route func(n *RealNode
 	tEnd := time.Now()
 	m.PhaseDeliver.Observe(float64(tDeliver.Sub(t0)))
 	m.PhaseExecute.Observe(float64(tExecute.Sub(tDeliver)))
+	m.PhasePrepare.Observe(float64(tPrepare.Sub(tExecute)))
 	m.PhaseReroute.Observe(float64(rerouteNS))
-	m.PhasePublish.Observe(float64(tEnd.Sub(tExecute) - rerouteNS))
+	m.PhasePublish.Observe(float64(tEnd.Sub(tPrepare) - rerouteNS))
 	return changed
 }
 
-// syncRoute is the synchronous engine's barrier routing: an unchanged
-// output leaves the standing buckets alone, a changed one is rerouted.
-func (nw *Network) syncRoute(n *RealNode, out []Message, outChanged, _ bool) {
-	if outChanged {
-		nw.reroute(n, out)
-	}
-}
-
-// reroute replaces sender n's standing contributions with its new
+// rerouteWith replaces sender n's standing contributions with its new
 // output: per recipient, the bucket is rewritten (and the recipient
-// woken) only when the contribution actually changed. Grouping runs
-// over sorted scratch slices instead of per-call maps; per-recipient
-// message order (the emission order sameMessages compares) is
-// preserved by the stable sort.
-func (nw *Network) reroute(n *RealNode, out []Message) {
-	nw.rerouteWith(n, out, nil)
-}
-
-// rerouteWith is reroute with a change observer: onChange fires once
-// per recipient whose standing bucket this call actually rewrote, with
-// the new contribution (nil for a deletion). Partitioned schedulers
-// use it to mirror bucket rewrites to the recipient's hosting process;
-// the msgs slice aliases sender scratch and must be copied if kept.
+// woken) only when the contribution actually changed. It is the
+// serial-route schedulers' form of what the synchronous engine does
+// through prepReroute + the sharded commit (see barrier.go). onChange
+// fires once per recipient whose standing bucket this call actually
+// rewrote, with the new contribution (nil for a deletion); partitioned
+// schedulers use it to mirror bucket rewrites to the recipient's
+// hosting process. The msgs slice aliases sender scratch and must be
+// copied if kept.
 func (nw *Network) rerouteWith(n *RealNode, out []Message, onChange func(dst ident.ID, msgs []Message)) {
 	// Group the output by recipient, preserving per-recipient emission
 	// order. The group list is kept sorted by owner, so membership is

@@ -2,10 +2,8 @@ package rechord
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 
-	"repro/internal/graph"
 	"repro/internal/ident"
 	"repro/internal/ref"
 )
@@ -27,32 +25,7 @@ func settledBenchNet(b *testing.B, n int) *Network {
 	if nw, ok := settledBenchNets[n]; ok {
 		return nw
 	}
-	rng := rand.New(rand.NewSource(int64(n)))
-	ids := make([]ident.ID, 0, n)
-	seen := map[ident.ID]bool{}
-	for len(ids) < n {
-		id := ident.ID(rng.Uint64())
-		if id == 0 || seen[id] {
-			continue
-		}
-		seen[id] = true
-		ids = append(ids, id)
-	}
-	nw := NewNetwork(Config{Workers: 1})
-	nw.Reserve(n)
-	for _, id := range ids {
-		nw.AddPeer(id)
-	}
-	idl := ComputeIdeal(ids)
-	for _, x := range idl.Nodes() {
-		for _, y := range idl.Nu(x).Slice() {
-			nw.SeedEdge(x, y, graph.Unmarked)
-		}
-	}
-	nodes := idl.Nodes()
-	mn, mx := nodes[0], nodes[len(nodes)-1]
-	nw.SeedEdge(mx, mn, graph.Ring)
-	nw.SeedEdge(mn, mx, graph.Ring)
+	nw, idl := idealSeededNet(Config{Workers: 1}, n)
 	for r := 0; r < 200 && !nw.Quiescent(); r++ {
 		nw.Step()
 	}
