@@ -133,6 +133,16 @@ func TestMetricsSnapshot(t *testing.T) {
 			t.Fatalf("phase %q missing from snapshot", phase)
 		}
 	}
+	// The flow-storage gauges ride along: a stabilized network holds
+	// live shared templates, and its standing buckets reference them.
+	if s.Engine.FlowTemplates <= 0 || s.Engine.FlowResidentBytes <= 0 {
+		t.Fatalf("flow gauges empty after stabilization: templates=%d resident=%d",
+			s.Engine.FlowTemplates, s.Engine.FlowResidentBytes)
+	}
+	if s.Engine.FlowSharedBytes <= 0 || s.Engine.FlowTemplateHit <= 0 {
+		t.Fatalf("shared-storage gauges empty: shared=%d hit=%v",
+			s.Engine.FlowSharedBytes, s.Engine.FlowTemplateHit)
+	}
 	// The facade KV path feeds the same metrics set.
 	if err := c.Put(ctx, "facade-key", "v"); err != nil {
 		t.Fatal(err)

@@ -11,7 +11,8 @@
 //	benchdiff -base BENCH_rounds.json -new fresh.json \
 //	    [-fail-allocs regex] [-allocs-tol 0] \
 //	    [-ns-tol 0.25] [-fail-ns regex] \
-//	    [-bytes-tol 0.25] [-metric bytes/peer] [-github]
+//	    [-bytes-tol 0.25] [-metric bytes/peer] \
+//	    [-fail-metric regex] [-metric-tol 0.10] [-github]
 //
 // Exit status 1 means at least one failing regression.
 package main
@@ -118,6 +119,8 @@ func run(args []string, stdout io.Writer) error {
 		nsTol      = fs.Float64("ns-tol", 0.25, "allowed relative ns/op increase")
 		failNs     = fs.String("fail-ns", "", "regex of benchmark names whose ns/op regression fails the run (default: warn only)")
 		bytesTol   = fs.Float64("bytes-tol", 0.25, "allowed relative b/op and custom-metric increase")
+		failMetric = fs.String("fail-metric", "", "regex of benchmark names whose custom-metric regression fails the run (default: warn only)")
+		metricTol  = fs.Float64("metric-tol", -1, "allowed relative custom-metric increase (default: -bytes-tol)")
 		github     = fs.Bool("github", false, "emit GitHub Actions ::warning::/::error:: annotations")
 		metrics    multiString
 	)
@@ -141,6 +144,16 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("-fail-ns: %w", err)
 		}
 	}
+	var reFailMetric *regexp.Regexp
+	if *failMetric != "" {
+		if reFailMetric, err = regexp.Compile(*failMetric); err != nil {
+			return fmt.Errorf("-fail-metric: %w", err)
+		}
+	}
+	mTol := *bytesTol
+	if *metricTol >= 0 {
+		mTol = *metricTol
+	}
 
 	base, order, err := load(*basePath)
 	if err != nil {
@@ -158,7 +171,8 @@ func run(args []string, stdout io.Writer) error {
 		n, ok := fresh[name]
 		if !ok {
 			gated := (reFailAllocs != nil && reFailAllocs.MatchString(name)) ||
-				(reFailNs != nil && reFailNs.MatchString(name))
+				(reFailNs != nil && reFailNs.MatchString(name)) ||
+				(reFailMetric != nil && reFailMetric.MatchString(name))
 			if gated {
 				rp.fail("%s: missing from %s (gated benchmark disappeared)", name, *newPath)
 			} else {
@@ -193,9 +207,14 @@ func run(args []string, stdout io.Writer) error {
 		for _, key := range metrics {
 			bv, bok := b.Metrics[key]
 			nv, nok := n.Metrics[key]
-			if bok && nok && regressed(bv, nv, *bytesTol) {
-				rp.warn("%s %s: %.0f -> %.0f (%s, tol %.0f%%)",
-					name, key, bv, nv, pct(bv, nv), 100**bytesTol)
+			if bok && nok && regressed(bv, nv, mTol) {
+				msg := fmt.Sprintf("%s %s: %.0f -> %.0f (%s, tol %.0f%%)",
+					name, key, bv, nv, pct(bv, nv), 100*mTol)
+				if reFailMetric != nil && reFailMetric.MatchString(name) {
+					rp.fail("%s", msg)
+				} else {
+					rp.warn("%s", msg)
+				}
 			}
 		}
 	}

@@ -108,6 +108,35 @@ func TestCustomMetricCompared(t *testing.T) {
 	}
 }
 
+func TestFailMetricGatesRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", baseline)
+	fresh := writeJSON(t, dir, "new.json", strings.Replace(baseline, `"bytes/peer": 30000`, `"bytes/peer": 34000`, 1))
+	var out strings.Builder
+	err := run([]string{"-base", base, "-new", fresh, "-metric", "bytes/peer",
+		"-metric-tol", "0.10", "-fail-metric", "BenchmarkMemoryPerPeer"}, &out)
+	if err == nil {
+		t.Fatalf("+13%% bytes/peer at 10%% gated tolerance must fail\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkMemoryPerPeer/n=1024 bytes/peer") {
+		t.Errorf("missing FAIL line:\n%s", out.String())
+	}
+}
+
+func TestFailMetricWithinToleranceIsSilent(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", baseline)
+	fresh := writeJSON(t, dir, "new.json", strings.Replace(baseline, `"bytes/peer": 30000`, `"bytes/peer": 32000`, 1))
+	var out strings.Builder
+	if err := run([]string{"-base", base, "-new", fresh, "-metric", "bytes/peer",
+		"-metric-tol", "0.10", "-fail-metric", "BenchmarkMemoryPerPeer"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0 failing, 0 warnings") {
+		t.Errorf("+7%% at 10%% tolerance must be silent:\n%s", out.String())
+	}
+}
+
 func TestGatedBenchmarkDisappearingFails(t *testing.T) {
 	dir := t.TempDir()
 	base := writeJSON(t, dir, "base.json", baseline)

@@ -54,6 +54,22 @@ type EngineMetrics struct {
 	// RuleNames: messages sent by the rule, plus rule 1's virtual-node
 	// creations/removals and rule 2's immediate edge handoffs.
 	RuleFired [NumRules]Counter
+	// Flow-storage gauges: the resident footprint of the shared flow
+	// templates that back standing buckets. Set once per batch (or
+	// churn operation) from the engine's serial accounting — never on
+	// the per-message path. FlowTemplates is the number of live
+	// templates; FlowResidentBytes their packed footprint;
+	// FlowSharedBytes / FlowUniqueBytes classify the deep-copy
+	// equivalent bytes of the standing buckets by whether they
+	// reference a shared template or a private copy; the
+	// FlowInstalls* pair counts bucket installs by the same split
+	// (shared installs are the template hit rate's numerator).
+	FlowTemplates      Gauge
+	FlowResidentBytes  Gauge
+	FlowSharedBytes    Gauge
+	FlowUniqueBytes    Gauge
+	FlowInstallsShared Gauge
+	FlowInstallsCopied Gauge
 	// Per-phase barrier wall-clock, in nanoseconds per batch. Deliver
 	// is phase 1 (inbox/bucket application and reference purging),
 	// Execute is phase 2 (the parallel rule run), Prepare is phase 3a
@@ -85,6 +101,14 @@ type EngineSnapshot struct {
 	AsyncDeliveries uint64                 `json:"async_deliveries"`
 	RuleFired       map[string]uint64      `json:"rule_fired"`
 	PhaseNS         map[string]HistSummary `json:"phase_ns"`
+	// Flow-storage snapshot (see the FlowTemplates gauge group).
+	FlowTemplates      int64   `json:"flow_templates"`
+	FlowResidentBytes  int64   `json:"flow_resident_bytes"`
+	FlowSharedBytes    int64   `json:"flow_shared_bytes"`
+	FlowUniqueBytes    int64   `json:"flow_unique_bytes"`
+	FlowInstallsShared int64   `json:"flow_installs_shared"`
+	FlowInstallsCopied int64   `json:"flow_installs_copied"`
+	FlowTemplateHit    float64 `json:"flow_template_hit_rate"`
 }
 
 // Snapshot digests the counters. Safe to call concurrently with the
@@ -115,5 +139,14 @@ func (m *EngineMetrics) Snapshot() EngineSnapshot {
 	s.PhaseNS["prepare"] = m.PhasePrepare.Summary()
 	s.PhaseNS["publish"] = m.PhasePublish.Summary()
 	s.PhaseNS["reroute"] = m.PhaseReroute.Summary()
+	s.FlowTemplates = m.FlowTemplates.Value()
+	s.FlowResidentBytes = m.FlowResidentBytes.Value()
+	s.FlowSharedBytes = m.FlowSharedBytes.Value()
+	s.FlowUniqueBytes = m.FlowUniqueBytes.Value()
+	s.FlowInstallsShared = m.FlowInstallsShared.Value()
+	s.FlowInstallsCopied = m.FlowInstallsCopied.Value()
+	if total := s.FlowInstallsShared + s.FlowInstallsCopied; total > 0 {
+		s.FlowTemplateHit = float64(s.FlowInstallsShared) / float64(total)
+	}
 	return s
 }

@@ -139,6 +139,12 @@ func sampleSnapshot() Snapshot {
 		h.Observe(1000)
 		h.Observe(2000)
 	}
+	em.FlowTemplates.Set(42)
+	em.FlowResidentBytes.Set(81920)
+	em.FlowSharedBytes.Set(65536)
+	em.FlowUniqueBytes.Set(4096)
+	em.FlowInstallsShared.Set(300)
+	em.FlowInstallsCopied.Set(100)
 
 	wm := NewWorkloadMetrics(2, "get", "put")
 	wm.InFlight.Add(3)
@@ -269,6 +275,21 @@ func TestEngineSnapshotRuleNames(t *testing.T) {
 	}
 	if s.RuleFired["closest_real_neighbor"] != 9 {
 		t.Fatalf("rule 3 count = %d, want 9 (%v)", s.RuleFired["closest_real_neighbor"], s.RuleFired)
+	}
+}
+
+// TestEngineSnapshotFlowHitRate pins the derived template hit rate:
+// shared installs over all installs, zero (not NaN) when nothing was
+// installed — the zero-value EngineMetrics must snapshot cleanly.
+func TestEngineSnapshotFlowHitRate(t *testing.T) {
+	var em EngineMetrics
+	if s := em.Snapshot(); s.FlowTemplateHit != 0 {
+		t.Fatalf("zero-value hit rate = %v, want 0", s.FlowTemplateHit)
+	}
+	em.FlowInstallsShared.Set(3)
+	em.FlowInstallsCopied.Set(1)
+	if s := em.Snapshot(); s.FlowTemplateHit != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", s.FlowTemplateHit)
 	}
 }
 

@@ -391,14 +391,23 @@ func (a *AsyncRunner) route(n *RealNode, out []Message, outChanged, stateChanged
 		}
 		newBy[m.To.Owner] = append(newBy[m.To.Owner], m)
 	}
-	if outChanged {
-		for _, m := range n.lastOut {
-			if _, ok := oldBy[m.To.Owner]; !ok {
-				if _, inNew := newBy[m.To.Owner]; !inNew {
-					touched = append(touched, m.To.Owner)
-				}
+	// tpl is the template the standing buckets will reference: the batch
+	// template when the output changed (Network.routeFlow, adopted as
+	// lastFlow right after this callback), the current lastFlow
+	// otherwise (its spans are the unchanged output, by the settle
+	// predicate).
+	tpl := nw.routeFlow
+	if tpl == nil {
+		tpl = n.lastFlow
+	}
+	if outChanged && n.lastFlow != nil {
+		lf := n.lastFlow
+		for siOld := range lf.spans {
+			owner := lf.spans[siOld].owner
+			if _, inNew := newBy[owner]; !inNew {
+				touched = append(touched, owner)
 			}
-			oldBy[m.To.Owner] = append(oldBy[m.To.Owner], m)
+			oldBy[owner] = lf.appendSpan(oldBy[owner], int32(siOld))
 		}
 	}
 	ident.Sort(touched)
@@ -415,13 +424,14 @@ func (a *AsyncRunner) route(n *RealNode, out []Message, outChanged, stateChanged
 		case !changed:
 			// Run-stable contribution: ensure the standing bucket holds
 			// it, without waking the recipient.
-			if alive && len(newC) > 0 && !sameMessages(dst.in[h], newC) {
-				nw.installBucketQuiet(dst, h, newC)
+			if alive && len(newC) > 0 {
+				nw.installBucketQuiet(dst, h, tpl, tpl.findSpan(dstID))
 			}
 		case !stateChanged:
 			// Relay flow: synchronous bucket rewrite, waking the
-			// recipient when its standing input changed.
-			nw.rerouteOne(h, dstID, newC)
+			// recipient when its standing input changed (an absent span
+			// deletes the bucket).
+			nw.rerouteSpan(h, dstID, tpl, tpl.findSpan(dstID))
 		case len(newC) == 0:
 			if nw.dropBucket(dst, alive, h) {
 				nw.markDirtyIdx(dstSlot)
@@ -581,9 +591,10 @@ func (a *AsyncRunner) PendingByKind() map[graph.Kind]int {
 		for _, msg := range node.inbox {
 			out[msg.Kind]++
 		}
-		for _, ms := range node.in {
-			for _, msg := range ms {
-				out[msg.Kind]++
+		for _, b := range node.in {
+			sp := b.flow.spans[b.span]
+			for _, pm := range b.flow.packed[sp.start:sp.end] {
+				out[graph.Kind(pm.meta>>pmKindShift)]++
 			}
 		}
 	}

@@ -28,10 +28,10 @@ func asyncBucketInvariant(t *testing.T, nw *Network) {
 		if dst == nil {
 			continue
 		}
-		for sender := range dst.in {
-			if nw.pt.byHandle(sender) == nil {
+		for _, b := range dst.in {
+			if nw.pt.byHandle(b.sender) == nil {
 				t.Fatalf("peer %s holds a standing bucket from a departed sender incarnation (slot %d gen %d)",
-					dst.id, sender.slot(), sender.gen())
+					dst.id, b.sender.slot(), b.sender.gen())
 			}
 		}
 	}
@@ -129,20 +129,24 @@ func TestAsyncRemovePeerFinalOutput(t *testing.T) {
 		// A peer can hold a standing bucket from itself (messages to its
 		// own virtual nodes); the victim is no recipient of its own
 		// final output.
-		if dst != nil && dst.id != victim && len(dst.in[vicH]) > 0 {
-			recipient, found = dst.id, true
-			break
+		if dst != nil && dst.id != victim {
+			if bi := dst.findBucket(vicH); bi >= 0 && dst.in[bi].flow.spanLen(dst.in[bi].span) > 0 {
+				recipient, found = dst.id, true
+				break
+			}
 		}
 	}
 	if !found {
 		t.Fatalf("victim %s has no standing flow at the fixed point", victim)
 	}
-	want := len(nw.node(recipient).in[vicH])
+	rcp := nw.node(recipient)
+	rb := rcp.in[rcp.findBucket(vicH)]
+	want := rb.flow.spanLen(rb.span)
 	if err := nw.Fail(victim); err != nil {
 		t.Fatal(err)
 	}
 	dst := nw.node(recipient)
-	if len(dst.in[vicH]) != 0 {
+	if dst.findBucket(vicH) >= 0 {
 		t.Fatal("departed sender's bucket not removed")
 	}
 	if len(dst.inbox) < want {

@@ -152,28 +152,40 @@ type prepOut struct {
 	// the epilogue).
 	viewRefs []ref.Ref
 
+	// newFlow is the freshly frozen template of this batch's output,
+	// built whenever outChanged (for every engine: the sync commit's ops
+	// point into it, the serial-route schedulers read it through
+	// Network.routeFlow). It carries one reference that the epilogue
+	// hands to the peer's lastFlow.
+	newFlow *flowTemplate
+
 	// Synchronous-engine commit payload (empty for serial-route
 	// schedulers): the bucket rewrites this sender wants and the
 	// dep-index deltas they plus the peer's edge-set diff imply.
 	ops  []bucketOp
 	deps []depDelta
 
-	// scratch: recipient grouping (ops alias its msgs storage until the
-	// commit has run), deletion dedup, and the stateDeps diff buffers.
-	groups []rrGroup
-	dels   []ident.ID
-	owners []ident.ID
-	counts []ownerCount
+	// scratch: recipient grouping (frozen into newFlow before the
+	// commit), the output-diff cursors, the template symbol collector,
+	// and the stateDeps diff buffers.
+	groups  []rrGroup
+	cursors []uint32
+	symbuf  []ident.ID
+	owners  []ident.ID
+	counts  []ownerCount
 }
 
 // bucketOp is one standing-bucket rewrite: sender (implied by the
-// prepOut's index) replaces its contribution at the recipient slot.
-// nil msgs deletes the bucket. Ops exist only for buckets that
-// actually change, so applying one unconditionally rewrites.
+// prepOut's index) points the recipient's bucket at span `span` of the
+// batch template (prepOut.newFlow); span -1 deletes the bucket. quiet
+// ops repoint a content-identical bucket at the new template without
+// waking the recipient or touching the dep index — they exist so that
+// at most one template generation per sender stays live at rest.
 type bucketOp struct {
 	dstSlot uint32
-	delta   int32     // bucketMsgs adjustment (new len - old len)
-	msgs    []Message // aliases the prepOut's group storage
+	delta   int32 // bucketMsgs adjustment (new len - old len)
+	span    int32
+	quiet   bool
 }
 
 // depDelta is one inverted-index adjustment: k > 0 adds, k < 0 removes
@@ -185,11 +197,12 @@ type depDelta struct {
 }
 
 // commitShard is one commit worker's private output: the frontier
-// slots it dirtied and its bucketMsgs adjustment, merged serially
-// after the commit barrier.
+// slots it dirtied, its bucketMsgs adjustment, and its flow-storage
+// accounting, merged serially after the commit barrier.
 type commitShard struct {
 	frontier   []uint32
 	bucketMsgs int
+	flow       flowTally
 }
 
 // prepareIndex is the parallel prepare body for active index i: the
@@ -255,7 +268,18 @@ func (nw *Network) prepareIndex(i int) {
 			}
 		}
 	}
-	p.outChanged = !sameMessages(res.out, n.lastOut)
+	if nw.cfg.ParanoidSettle && n.lastFlow != nil {
+		// Write barrier over the shared representation: any in-place
+		// mutation of the (immutable) template since build panics here.
+		n.lastFlow.verify("lastFlow of " + id.String())
+	}
+	p.outChanged = !flowEqualsOutput(n.lastFlow, res.out, &p.cursors)
+	p.newFlow = nil
+	if p.outChanged {
+		// Freeze the new output for every engine: the sync commit's ops
+		// index into it, the serial-route schedulers install from it.
+		nw.prepFlow(res.out, p)
+	}
 
 	if nw.bSync {
 		if res.hchanged {
@@ -264,7 +288,7 @@ func (nw *Network) prepareIndex(i int) {
 			nw.prepStateDeps(slot, n, p)
 		}
 		if p.outChanged {
-			nw.prepReroute(n, res.out, p)
+			nw.prepFlowOps(n, p)
 		}
 	}
 }
@@ -324,15 +348,10 @@ func (nw *Network) prepStateDeps(slot uint32, n *RealNode, p *prepOut) {
 	nw.stateDeps[slot] = append(old[:0], nc...)
 }
 
-// prepReroute is the read-only half of the old reroute: group the
-// sender's output by recipient (preserving per-recipient emission
-// order), diff each contribution against the current standing bucket,
-// and emit one bucketOp plus the implied dep deltas per changed
-// recipient. Buckets are only read here — concurrent prepares may read
-// the same recipient's map — and the op msgs alias this prepOut's own
-// group storage, which stays untouched until the commit has run.
-func (nw *Network) prepReroute(n *RealNode, out []Message, p *prepOut) {
-	groups := p.groups
+// groupByRecipient sorts out into per-recipient groups (preserving
+// per-recipient emission order) using groups as reusable storage.
+// Returns the grown storage and the number of live groups.
+func groupByRecipient(groups []rrGroup, out []Message) ([]rrGroup, int) {
 	ng := 0
 	for _, m := range out {
 		owner := m.To.Owner
@@ -358,70 +377,88 @@ func (nw *Network) prepReroute(n *RealNode, out []Message, p *prepOut) {
 		}
 		groups[lo].msgs = append(groups[lo].msgs, m)
 	}
-	p.groups = groups
-	// Previous recipients with no new contribution get their bucket
-	// deleted. lastOut may repeat an owner, so deletions are
-	// deduplicated here (the serial rerouteOne absorbed duplicates as
-	// no-ops; an op stream must not double-count the delta).
-	dels := p.dels[:0]
-	for _, m := range n.lastOut {
-		owner := m.To.Owner
-		lo, hi := 0, ng
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if groups[mid].owner < owner {
-				lo = mid + 1
-			} else {
-				hi = mid
+	return groups, ng
+}
+
+// prepFlow freezes the sender's new output into p.newFlow. The
+// template is born with one reference, which the epilogue hands to the
+// peer's lastFlow; bucket installs take their own.
+func (nw *Network) prepFlow(out []Message, p *prepOut) {
+	var ng int
+	p.groups, ng = groupByRecipient(p.groups, out)
+	p.newFlow, p.symbuf = buildFlow(p.groups, ng, len(out), p.symbuf)
+}
+
+// prepFlowOps is the read-only half of the old reroute: diff each
+// recipient span of the new template against the current standing
+// bucket and emit one bucketOp plus the implied dep deltas. Recipients
+// of the old flow with no new contribution get a delete op; unchanged
+// contributions get a quiet repoint op so the old template generation
+// can die. Buckets are only read here — concurrent prepares may read
+// the same recipient's table.
+func (nw *Network) prepFlowOps(n *RealNode, p *prepOut) {
+	nf := p.newFlow
+	if old := n.lastFlow; old != nil {
+		for _, sp := range old.spans {
+			if nf.findSpan(sp.owner) < 0 {
+				nw.prepOneOp(n.h(), sp.owner, nf, -1, p)
 			}
 		}
-		if lo < ng && groups[lo].owner == owner {
-			continue
-		}
-		lo, hi = 0, len(dels)
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if dels[mid] < owner {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		if lo < len(dels) && dels[lo] == owner {
-			continue
-		}
-		dels = append(dels, 0)
-		copy(dels[lo+1:], dels[lo:])
-		dels[lo] = owner
 	}
-	p.dels = dels
-	h := n.h()
-	for _, owner := range dels {
-		nw.prepOneOp(h, owner, nil, p)
-	}
-	for g := 0; g < ng; g++ {
-		nw.prepOneOp(h, groups[g].owner, groups[g].msgs, p)
+	for si := range nf.spans {
+		nw.prepOneOp(n.h(), nf.spans[si].owner, nf, int32(si), p)
 	}
 }
 
-// prepOneOp diffs one (sender, recipient) contribution and, if it
-// changed, records the rewrite and its dep deltas. Mirrors rerouteOne's
-// decisions exactly, split at the read/write boundary.
-func (nw *Network) prepOneOp(sender handle, dstID ident.ID, newB []Message, p *prepOut) {
+// prepOneOp diffs one (sender, recipient) contribution — span si of nf,
+// or a deletion when si < 0 — and records the rewrite and its dep
+// deltas. Mirrors rerouteSpan's decisions exactly, split at the
+// read/write boundary.
+func (nw *Network) prepOneOp(sender handle, dstID ident.ID, nf *flowTemplate, si int32, p *prepOut) {
 	slot, ok := nw.pt.lookup(dstID)
 	if !ok {
 		return // destination departed
 	}
-	oldB := nw.pt.nodes[slot].in[sender]
-	if sameMessages(oldB, newB) {
+	dst := nw.pt.nodes[slot]
+	bi := dst.findBucket(sender)
+	if si < 0 {
+		if bi < 0 {
+			return
+		}
+		old := dst.in[bi]
+		p.ops = append(p.ops, bucketOp{dstSlot: slot, delta: -int32(old.flow.spanLen(old.span)), span: -1})
+		appendSpanDeps(&p.deps, old.flow, old.span, slot, -1)
 		return
 	}
-	p.ops = append(p.ops, bucketOp{dstSlot: slot, delta: int32(len(newB) - len(oldB)), msgs: newB})
-	for _, m := range oldB {
-		p.deps = append(p.deps, depDelta{id: m.Add.Owner, slot: slot, k: -1})
+	if bi >= 0 {
+		old := dst.in[bi]
+		if spansEqual(old.flow, old.span, nf, si) {
+			// Content identical: repoint storage to the new generation
+			// without waking the recipient, so the old generation can
+			// die. (old.flow == nf is impossible here — nf was built
+			// this batch.) Private buckets pin no generation, so
+			// deep-copy mode skips the op entirely, like the
+			// pre-sharing engine did.
+			if !old.flow.private {
+				p.ops = append(p.ops, bucketOp{dstSlot: slot, span: si, quiet: true})
+			}
+			return
+		}
+		p.ops = append(p.ops, bucketOp{dstSlot: slot, delta: int32(nf.spanLen(si) - old.flow.spanLen(old.span)), span: si})
+		appendSpanDeps(&p.deps, old.flow, old.span, slot, -1)
+		appendSpanDeps(&p.deps, nf, si, slot, 1)
+		return
 	}
-	for _, m := range newB {
-		p.deps = append(p.deps, depDelta{id: m.Add.Owner, slot: slot, k: 1})
+	p.ops = append(p.ops, bucketOp{dstSlot: slot, delta: int32(nf.spanLen(si)), span: si})
+	appendSpanDeps(&p.deps, nf, si, slot, 1)
+}
+
+// appendSpanDeps emits one dep delta of weight k per message in span si
+// of t, keyed by the message's Add owner.
+func appendSpanDeps(deps *[]depDelta, t *flowTemplate, si int32, slot uint32, k int32) {
+	sp := t.spans[si]
+	for i := sp.start; i < sp.end; i++ {
+		*deps = append(*deps, depDelta{id: t.syms[t.packed[i].sym], slot: slot, k: k})
 	}
 }
 
@@ -435,6 +472,7 @@ func (nw *Network) commitWorker(w int) {
 	sh := &nw.commit[w]
 	sh.bucketMsgs = 0
 	sh.frontier = sh.frontier[:0]
+	sh.flow = flowTally{}
 	uw := uint32(w)
 	uc := uint32(C)
 	for i := range nw.bActive {
@@ -446,7 +484,7 @@ func (nw *Network) commitWorker(w int) {
 				if op.dstSlot%uc != uw {
 					continue
 				}
-				nw.commitBucketOp(w, h, op, sh)
+				nw.commitBucketOp(w, h, p.newFlow, op, sh)
 			}
 		}
 		for _, d := range p.deps {
@@ -463,27 +501,26 @@ func (nw *Network) commitWorker(w int) {
 // partition and panics on a cross-shard write: the selection filter in
 // commitWorker and this check must agree by construction, so a firing
 // audit means the partitioning itself regressed.
-func (nw *Network) commitBucketOp(w int, sender handle, op *bucketOp, sh *commitShard) {
+func (nw *Network) commitBucketOp(w int, sender handle, nf *flowTemplate, op *bucketOp, sh *commitShard) {
 	if nw.cfg.ParanoidSettle && int(op.dstSlot)%nw.commitW != w {
 		panic(fmt.Sprintf("rechord: cross-shard bucket write: slot %d belongs to commit worker %d, written by %d",
 			op.dstSlot, int(op.dstSlot)%nw.commitW, w))
 	}
 	dst := nw.pt.nodes[op.dstSlot]
 	sh.bucketMsgs += int(op.delta)
-	if len(op.msgs) == 0 {
-		delete(dst.in, sender)
+	if op.span < 0 {
+		if bi := dst.findBucket(sender); bi >= 0 {
+			old := dst.in[bi]
+			dst.delBucketAt(bi)
+			releaseBucket(old, &sh.flow)
+		}
 	} else {
-		if dst.in == nil {
-			dst.in = make(map[handle][]Message)
+		nw.installBucket(dst, sender, nf, op.span, &sh.flow)
+		if op.quiet {
+			// Content-identical repoint: storage moved to the new
+			// template generation, the recipient's state did not change.
+			return
 		}
-		b := dst.in[sender][:0]
-		if cap(b) > 2*len(op.msgs)+8 {
-			// The convergence transient can leave buckets with peak
-			// capacities far above their steady content; right-size
-			// instead of pinning the spike forever.
-			b = nil
-		}
-		dst.in[sender] = append(b, op.msgs...)
 	}
 	if !dst.dirty {
 		dst.dirty = true

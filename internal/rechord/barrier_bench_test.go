@@ -15,8 +15,9 @@ import (
 // exactly the regime the old serial phase 3 dominated. A fixed window
 // instead of run-to-quiescence keeps the series comparable across
 // engine changes and immune to seed-specific settle tails (some id
-// sets sustain a small persistent oscillation; see the largescale
-// suites for the convergence proofs).
+// sets ride a flow-settling wave for thousands of rounds — see
+// TestSeed4096FlowWave and DESIGN §2; the largescale suites hold the
+// convergence proofs).
 const barrierBenchRounds = 48
 
 // BenchmarkBarrierCommit pins the phase-3 split the sharded barrier

@@ -46,15 +46,16 @@ func TestCommitShardAuditBucket(t *testing.T) {
 	var sh commitShard
 	// Slot 1 belongs to commit worker 1; worker 0 writing it must trip
 	// the audit before any state is touched.
-	op := bucketOp{dstSlot: 1}
+	op := bucketOp{dstSlot: 1, span: -1}
 	wantPanic(t, "cross-shard bucket write", func() {
-		nw.commitBucketOp(0, sender, &op, &sh)
+		nw.commitBucketOp(0, sender, nil, &op, &sh)
 	})
-	// The owning worker passes: an empty op deletes a (non-existent)
-	// bucket, a no-op, and marks the recipient dirty. Fresh peers start
-	// dirty (AddPeer), so clear the flag to observe the wake.
+	// The owning worker passes: a delete op for a (non-existent)
+	// bucket is a no-op that still marks the recipient dirty. Fresh
+	// peers start dirty (AddPeer), so clear the flag to observe the
+	// wake.
 	nw.pt.nodes[1].dirty = false
-	nw.commitBucketOp(1, sender, &op, &sh)
+	nw.commitBucketOp(1, sender, nil, &op, &sh)
 	if len(sh.frontier) != 1 || sh.frontier[0] != 1 {
 		t.Fatalf("owning worker did not mark the recipient: frontier=%v", sh.frontier)
 	}

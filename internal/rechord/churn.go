@@ -105,27 +105,38 @@ func (nw *Network) removePeer(id ident.ID) {
 	nw.pt.release(n)
 	nw.removeOrder(id)
 	// The buckets stored on the departed peer die with it.
-	for _, ms := range n.in {
-		nw.bucketMsgs -= len(ms)
-		nw.depRemoveMsgs(n.idx, ms)
+	for _, b := range n.in {
+		nw.bucketMsgs -= b.flow.spanLen(b.span)
+		nw.depRemoveSpan(n.idx, b.flow, b.span)
+		releaseBucket(b, &nw.flow)
 	}
+	n.in = nil
 	// Its standing flow to others becomes a final one-shot delivery.
 	// The moved messages leave the index with the bucket: the recipient
 	// is dirty from here on, and one-shot inboxes are not indexed.
-	for _, m := range n.lastOut {
-		dstSlot, ok := nw.pt.lookup(m.To.Owner)
-		if !ok {
-			continue
-		}
-		dst := nw.pt.nodes[dstSlot]
-		if ms, ok := dst.in[h]; ok {
-			dst.inbox = append(dst.inbox, ms...)
-			nw.bucketMsgs -= len(ms)
-			nw.depRemoveMsgs(dstSlot, ms)
-			delete(dst.in, h)
+	if n.lastFlow != nil {
+		for _, sp := range n.lastFlow.spans {
+			dstSlot, ok := nw.pt.lookup(sp.owner)
+			if !ok {
+				continue
+			}
+			dst := nw.pt.nodes[dstSlot]
+			bi := dst.findBucket(h)
+			if bi < 0 {
+				continue
+			}
+			b := dst.in[bi]
+			dst.inbox = b.flow.appendSpan(dst.inbox, b.span)
+			nw.bucketMsgs -= b.flow.spanLen(b.span)
+			nw.depRemoveSpan(dstSlot, b.flow, b.span)
+			dst.delBucketAt(bi)
+			releaseBucket(b, &nw.flow)
 			nw.markDirtyIdx(dstSlot)
 		}
+		releaseFlow(n.lastFlow, &nw.flow)
+		n.lastFlow = nil
 	}
+	nw.flushFlowGauges()
 	nw.wakeDependents(map[ident.ID]bool{id: true}, nil)
 }
 

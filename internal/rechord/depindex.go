@@ -38,7 +38,7 @@ import (
 //     gated on the peer's content hash having changed, and at the
 //     out-of-band mutation points (AddPeer, SeedEdge, fixture rebuilds);
 //   - buckets: updated incrementally wherever buckets are written
-//     (rerouteOne, installBucketQuiet, dropBucket, removePeer's flush,
+//     (rerouteSpan, installBucketQuiet, dropBucket, removePeer's flush,
 //     AddPeer's re-materialization).
 
 // depEntry is one dependent peer slot with the number of references it
@@ -185,6 +185,23 @@ func (nw *Network) depRemoveMsgs(peer uint32, ms []Message) {
 	}
 }
 
+// depAddSpan / depRemoveSpan are the packed-storage forms: adjust the
+// index for span si of the flow template, read straight off the
+// template's symbol table without reconstituting messages.
+func (nw *Network) depAddSpan(peer uint32, t *flowTemplate, si int32) {
+	sp := t.spans[si]
+	for i := sp.start; i < sp.end; i++ {
+		nw.deps.add(t.syms[t.packed[i].sym], peer, 1)
+	}
+}
+
+func (nw *Network) depRemoveSpan(peer uint32, t *flowTemplate, si int32) {
+	sp := t.spans[si]
+	for i := sp.start; i < sp.end; i++ {
+		nw.deps.remove(t.syms[t.packed[i].sym], peer, 1)
+	}
+}
+
 // refreshStateDeps recomputes the peer's edge-set dependency multiset
 // and applies the delta against the stored one to the inverted index.
 // Called at the barrier for peers whose content hash changed (the
@@ -288,8 +305,8 @@ func (nw *Network) rebuildDeps() {
 			continue
 		}
 		nw.refreshStateDeps(uint32(slot), n)
-		for _, ms := range n.in {
-			nw.depAddMsgs(uint32(slot), ms)
+		for _, b := range n.in {
+			nw.depAddSpan(uint32(slot), b.flow, b.span)
 		}
 	}
 }
@@ -312,9 +329,11 @@ func (n *RealNode) holdsRef(r ref.Ref) bool {
 			return true
 		}
 	}
-	for _, ms := range n.in {
-		for _, m := range ms {
-			if m.Add == r {
+	for _, b := range n.in {
+		sp := b.flow.spans[b.span]
+		for i := sp.start; i < sp.end; i++ {
+			pm := b.flow.packed[i]
+			if b.flow.syms[pm.sym] == r.Owner && int(pm.meta&pmLevelMask) == r.Level {
 				return true
 			}
 		}
@@ -352,9 +371,12 @@ func (n *RealNode) holdsDependent(owners map[ident.ID]bool, refs map[ref.Ref]boo
 			return true
 		}
 	}
-	for _, ms := range n.in {
-		for _, m := range ms {
-			if owners[m.Add.Owner] || refs[m.Add] {
+	for _, b := range n.in {
+		sp := b.flow.spans[b.span]
+		for i := sp.start; i < sp.end; i++ {
+			pm := b.flow.packed[i]
+			add := ref.Ref{Owner: b.flow.syms[pm.sym], Level: int(pm.meta & pmLevelMask)}
+			if owners[add.Owner] || refs[add] {
 				return true
 			}
 		}

@@ -81,9 +81,10 @@ func checkDepIndex(t *testing.T, nw *Network, when string) {
 				bump(r.Owner, uint32(slot))
 			}
 		}
-		for _, ms := range n.in {
-			for _, m := range ms {
-				bump(m.Add.Owner, uint32(slot))
+		for _, b := range n.in {
+			sp := b.flow.spans[b.span]
+			for _, pm := range b.flow.packed[sp.start:sp.end] {
+				bump(b.flow.syms[pm.sym], uint32(slot))
 			}
 		}
 	}

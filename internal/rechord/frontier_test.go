@@ -182,8 +182,8 @@ func TestFrontierBucketAccounting(t *testing.T) {
 			if n == nil {
 				continue
 			}
-			for _, ms := range n.in {
-				c += len(ms)
+			for _, b := range n.in {
+				c += b.flow.spanLen(b.span)
 			}
 		}
 		return c

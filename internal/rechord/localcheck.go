@@ -46,11 +46,15 @@ func (nw *Network) LocallyStable(id ident.ID) bool {
 	// The regenerated output must match what the peer actually sent
 	// last round; otherwise neighbors would observe different inboxes
 	// next round.
-	if len(res.out) != len(n.lastOut) {
+	var last []Message
+	if n.lastFlow != nil {
+		last = n.lastFlow.appendAll(nil)
+	}
+	if len(res.out) != len(last) {
 		return false
 	}
 	a := sortedMessages(res.out)
-	b := sortedMessages(n.lastOut)
+	b := sortedMessages(last)
 	for i := range a {
 		if a[i] != b[i] {
 			return false

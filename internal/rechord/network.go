@@ -34,6 +34,13 @@ type Config struct {
 	// keeps the exhaustive schedule available as the equivalence
 	// baseline and for debugging.
 	FullSweep bool
+	// DeepCopyFlows disables copy-on-write flow sharing: every standing
+	// bucket stores a private single-span copy of the sender's
+	// contribution instead of referencing the sender's immutable flow
+	// template. Purely a storage fallback — settle decisions, wakes, and
+	// delivery are identical — kept as the equivalence baseline the
+	// shared-flow lockstep suite compares against.
+	DeepCopyFlows bool
 	// ParanoidSettle cross-checks the incremental barrier machinery
 	// against its O(n) baselines on every batch: the hash-based settle
 	// decision against the old clone-and-compare, and the inverted
@@ -142,6 +149,19 @@ type Network struct {
 	// per-round message flow of the current schedule.
 	bucketMsgs int
 
+	// flow is the authoritative flow-storage accounting (live templates,
+	// resident bytes, shared vs unique bucket bytes, install tallies).
+	// Serial mutation points update it directly; the sharded commit
+	// accumulates per-worker tallies merged at the barrier. Flushed to
+	// the telemetry gauges by flushFlowGauges.
+	flow flowTally
+
+	// routeFlow exposes the running batch peer's freshly built flow
+	// template (prepOut.newFlow) to the serial route callbacks, which
+	// install recipient buckets from its spans. Set by the epilogue
+	// before each route call; nil when the peer's output did not change.
+	routeFlow *flowTemplate
+
 	pool    *workerPool
 	active  []uint32
 	results []nodeResult
@@ -171,10 +191,10 @@ type Network struct {
 	ownerChangedB map[ident.ID]bool
 	viewChangedB  map[ref.Ref]bool
 
-	// rrGroups is rerouteWith scratch (serial-route schedulers only):
-	// per-recipient groups of the sender's output. Replaces two maps per
-	// rerouted peer per round; group buffers are recycled across calls.
-	rrGroups []rrGroup
+	// rrMsgs is rerouteWith's span-decode scratch (serial-route
+	// schedulers only): the reconstituted contribution handed to the
+	// onChange mirror callback, recycled across calls.
+	rrMsgs []Message
 
 	// met is the engine's always-on telemetry (shared with any
 	// AsyncRunner driving this network). The hot-path contract: a
@@ -258,20 +278,18 @@ func (nw *Network) AddPeer(id ident.ID) *RealNode {
 		// references to the id behave differently now that it resolves
 		// again, so they are woken too.
 		for _, s := range nw.pt.nodes {
-			if s == nil || s == n {
+			if s == nil || s == n || s.lastFlow == nil {
 				continue
 			}
-			for _, m := range s.lastOut {
-				if m.To.Owner == id {
-					if n.in == nil {
-						n.in = make(map[handle][]Message)
-					}
-					n.in[s.h()] = append(n.in[s.h()], m)
-					nw.bucketMsgs++
-					nw.deps.add(m.Add.Owner, slot, 1)
-				}
+			si := s.lastFlow.findSpan(id)
+			if si < 0 {
+				continue
 			}
+			nw.bucketMsgs += s.lastFlow.spanLen(si)
+			nw.depAddSpan(slot, s.lastFlow, si)
+			nw.installBucket(n, s.h(), s.lastFlow, si, &nw.flow)
 		}
+		nw.flushFlowGauges()
 		nw.wakeDependents(map[ident.ID]bool{id: true}, nil)
 	}
 	return n
@@ -614,10 +632,11 @@ func (nw *Network) deliver(n *RealNode) int {
 		apply(msg)
 	}
 	n.inbox = n.inbox[:0]
-	for _, ms := range n.in {
-		delivered += len(ms)
-		for _, msg := range ms {
-			apply(msg)
+	for _, b := range n.in {
+		sp := b.flow.spans[b.span]
+		delivered += int(sp.end - sp.start)
+		for i := sp.start; i < sp.end; i++ {
+			apply(b.flow.msgAt(sp.owner, i))
 		}
 	}
 	return delivered
@@ -843,6 +862,7 @@ func (nw *Network) runBatch(active []uint32, settle bool, route func(n *RealNode
 			sh := &nw.commit[w]
 			nw.bucketMsgs += sh.bucketMsgs
 			nw.frontier = append(nw.frontier, sh.frontier...)
+			nw.flow.add(&sh.flow)
 		}
 		rerouteNS = time.Since(tPrepare)
 	}
@@ -884,9 +904,11 @@ func (nw *Network) runBatch(active []uint32, settle bool, route func(n *RealNode
 				// contribution and diff it into the inverted index.
 				nw.refreshStateDeps(slot, n)
 			}
+			nw.routeFlow = p.newFlow
 			rt := time.Now()
 			route(n, res.out, p.outChanged, p.stateChanged)
 			rerouteNS += time.Since(rt)
+			nw.routeFlow = nil
 		}
 		out := res.out
 		if p.outChanged {
@@ -912,15 +934,20 @@ func (nw *Network) runBatch(active []uint32, settle bool, route func(n *RealNode
 			nw.bumpEpoch(n)
 			epochBumpN++
 		}
-		// lastOut takes ownership of the content; the scratch buffer is
-		// recycled for the peer's next run. Both are right-sized when
-		// their capacity is a transient-peak leftover (the convergence
-		// phase emits outputs many times larger than the steady flow).
-		lo := n.lastOut[:0]
-		if cap(lo) > 2*len(out)+8 {
-			lo = nil
+		// lastFlow adopts the batch template (taking over the builder's
+		// reference); the old generation loses its sender reference and
+		// dies once the commit's quiet repoints have migrated every
+		// surviving bucket. The scratch output buffer is recycled for
+		// the peer's next run, right-sized when its capacity is a
+		// transient-peak leftover.
+		if p.outChanged {
+			if n.lastFlow != nil {
+				releaseFlow(n.lastFlow, &nw.flow)
+			}
+			n.lastFlow = p.newFlow
+			nw.flow.tallyBirth(p.newFlow)
+			p.newFlow = nil
 		}
-		n.lastOut = append(lo, out...)
 		if settle && !p.outChanged && !p.stateChanged {
 			// Local fixed point: the peer just left the frontier, and
 			// its rule scratch is re-derivable on the next wake.
@@ -974,6 +1001,7 @@ func (nw *Network) runBatch(active []uint32, settle bool, route func(n *RealNode
 			m.RuleFired[k].Add(f)
 		}
 	}
+	nw.flushFlowGauges()
 	tEnd := time.Now()
 	m.PhaseDeliver.Observe(float64(tDeliver.Sub(t0)))
 	m.PhaseExecute.Observe(float64(tExecute.Sub(tDeliver)))
@@ -983,130 +1011,125 @@ func (nw *Network) runBatch(active []uint32, settle bool, route func(n *RealNode
 	return changed
 }
 
-// rerouteWith replaces sender n's standing contributions with its new
-// output: per recipient, the bucket is rewritten (and the recipient
-// woken) only when the contribution actually changed. It is the
-// serial-route schedulers' form of what the synchronous engine does
-// through prepReroute + the sharded commit (see barrier.go). onChange
-// fires once per recipient whose standing bucket this call actually
-// rewrote, with the new contribution (nil for a deletion); partitioned
+// flushFlowGauges publishes the flow-storage accounting to the
+// telemetry gauges: one atomic store per gauge per batch (or churn
+// operation), never on the per-message path. A quiescent Step does not
+// reach this — its telemetry cost stays one atomic increment.
+func (nw *Network) flushFlowGauges() {
+	m := &nw.met
+	m.FlowTemplates.Set(int64(nw.flow.births - nw.flow.deaths))
+	m.FlowResidentBytes.Set(int64(nw.flow.residentBytes))
+	m.FlowSharedBytes.Set(int64(nw.flow.sharedBytes))
+	m.FlowUniqueBytes.Set(int64(nw.flow.uniqueBytes))
+	m.FlowInstallsShared.Set(int64(nw.flow.installsShared))
+	m.FlowInstallsCopied.Set(int64(nw.flow.installsCopied))
+}
+
+// rerouteWith replaces sender n's standing contributions with the
+// spans of its new flow template t (the batch's routeFlow): per
+// recipient, the bucket is rewritten (and the recipient woken) only
+// when the contribution actually changed; content-identical buckets
+// are quietly repointed at the new generation. It is the serial-route
+// schedulers' form of what the synchronous engine does through
+// prepFlowOps + the sharded commit (see barrier.go). onChange fires
+// once per recipient whose standing bucket this call actually rewrote,
+// with the new contribution (nil for a deletion); partitioned
 // schedulers use it to mirror bucket rewrites to the recipient's
-// hosting process. The msgs slice aliases sender scratch and must be
+// hosting process. The msgs slice aliases network scratch and must be
 // copied if kept.
-func (nw *Network) rerouteWith(n *RealNode, out []Message, onChange func(dst ident.ID, msgs []Message)) {
-	// Group the output by recipient, preserving per-recipient emission
-	// order. The group list is kept sorted by owner, so membership is
-	// a binary search and inserts are small memmoves — outputs reach a
-	// few dozen distinct recipients at scale, where a per-message
-	// linear scan (let alone a map) costs more.
-	groups := nw.rrGroups
-	ng := 0
-	for _, m := range out {
-		owner := m.To.Owner
-		lo, hi := 0, ng
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if groups[mid].owner < owner {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		if lo == ng || groups[lo].owner != owner {
-			if ng == len(groups) {
-				groups = append(groups, rrGroup{})
-			}
-			ins := groups[ng] // recycle the spare entry's msgs buffer
-			copy(groups[lo+1:ng+1], groups[lo:ng])
-			ins.owner = owner
-			ins.msgs = ins.msgs[:0]
-			groups[lo] = ins
-			ng++
-		}
-		groups[lo].msgs = append(groups[lo].msgs, m)
-	}
-	nw.rrGroups = groups
+func (nw *Network) rerouteWith(n *RealNode, t *flowTemplate, onChange func(dst ident.ID, msgs []Message)) {
 	h := n.h()
 	// Previous recipients with no new contribution get their bucket
-	// deleted. Duplicate owners in lastOut issue redundant deletes,
-	// which rerouteOne turns into no-ops; processing order is free
-	// here, since bucket rewrites are per-recipient independent and
-	// the frontier is re-sorted at collection.
-	for _, m := range n.lastOut {
-		owner := m.To.Owner
-		lo, hi := 0, ng
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if groups[mid].owner < owner {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		if lo == ng || groups[lo].owner != owner {
-			if nw.rerouteOne(h, owner, nil) && onChange != nil {
-				onChange(owner, nil)
+	// deleted. Spans are unique per owner, so no deduplication is
+	// needed; processing order is free here, since bucket rewrites are
+	// per-recipient independent and the frontier is re-sorted at
+	// collection.
+	if old := n.lastFlow; old != nil {
+		for _, sp := range old.spans {
+			if t.findSpan(sp.owner) < 0 {
+				if nw.rerouteSpan(h, sp.owner, nil, -1) && onChange != nil {
+					onChange(sp.owner, nil)
+				}
 			}
 		}
 	}
-	for g := 0; g < ng; g++ {
-		if nw.rerouteOne(h, groups[g].owner, groups[g].msgs) && onChange != nil {
-			onChange(groups[g].owner, groups[g].msgs)
+	for si := range t.spans {
+		if nw.rerouteSpan(h, t.spans[si].owner, t, int32(si)) && onChange != nil {
+			nw.rrMsgs = t.appendSpan(nw.rrMsgs[:0], int32(si))
+			onChange(t.spans[si].owner, nw.rrMsgs)
 		}
 	}
 }
 
-// rerouteOne replaces one sender's standing contribution at one
-// recipient, waking the recipient only when the contribution actually
-// changed. An empty contribution deletes the bucket; a departed
-// recipient is a no-op. newB may alias caller scratch: the bucket
-// stores a copy, reusing the previous bucket's storage. The return
-// reports whether the bucket actually changed.
-func (nw *Network) rerouteOne(sender handle, dstID ident.ID, newB []Message) bool {
+// rerouteSpan replaces one sender's standing contribution at one
+// recipient with span si of template t, waking the recipient only when
+// the contribution actually changed. si < 0 deletes the bucket; a
+// departed recipient is a no-op. A content-identical bucket on an
+// older template is quietly repointed so only one generation per
+// sender stays live. The return reports whether the bucket's content
+// actually changed.
+func (nw *Network) rerouteSpan(sender handle, dstID ident.ID, t *flowTemplate, si int32) bool {
 	slot, ok := nw.pt.lookup(dstID)
 	if !ok {
 		return false // destination departed
 	}
 	dst := nw.pt.nodes[slot]
-	oldB := dst.in[sender]
-	if sameMessages(oldB, newB) {
-		return false
+	bi := dst.findBucket(sender)
+	if si < 0 {
+		if bi < 0 {
+			return false
+		}
+		old := dst.in[bi]
+		nw.bucketMsgs -= old.flow.spanLen(old.span)
+		nw.depRemoveSpan(slot, old.flow, old.span)
+		dst.delBucketAt(bi)
+		releaseBucket(old, &nw.flow)
+		nw.markDirtyIdx(slot)
+		return true
 	}
-	nw.bucketMsgs += len(newB) - len(oldB)
-	nw.depRemoveMsgs(slot, oldB)
-	nw.depAddMsgs(slot, newB)
-	if len(newB) == 0 {
-		delete(dst.in, sender)
+	if bi >= 0 {
+		old := dst.in[bi]
+		if spansEqual(old.flow, old.span, t, si) {
+			// Repoint only shared storage: a private bucket (deep-copy
+			// mode, partition stubs) pins no old template generation.
+			if old.flow != t && !old.flow.private {
+				nw.installBucket(dst, sender, t, si, &nw.flow)
+			}
+			return false
+		}
+		nw.bucketMsgs += t.spanLen(si) - old.flow.spanLen(old.span)
+		nw.depRemoveSpan(slot, old.flow, old.span)
 	} else {
-		if dst.in == nil {
-			dst.in = make(map[handle][]Message)
-		}
-		b := oldB[:0]
-		if cap(b) > 2*len(newB)+8 {
-			// The convergence transient can leave buckets with peak
-			// capacities far above their steady content; right-size
-			// instead of pinning the spike forever.
-			b = nil
-		}
-		dst.in[sender] = append(b, newB...)
+		nw.bucketMsgs += t.spanLen(si)
 	}
+	nw.depAddSpan(slot, t, si)
+	nw.installBucket(dst, sender, t, si, &nw.flow)
 	nw.markDirtyIdx(slot)
 	return true
 }
 
-// installBucketQuiet sets the sender's standing bucket at the
-// recipient without waking it: the asynchronous scheduler calls this
-// for run-stable contributions, whose content already reached the
+// installBucketQuiet points the sender's standing bucket at span si of
+// t without waking the recipient: the asynchronous scheduler calls
+// this for run-stable contributions, whose content already reached the
 // recipient as one-shot messages when it last changed — the bucket is
-// just the repeating representation from then on.
-func (nw *Network) installBucketQuiet(dst *RealNode, sender handle, msgs []Message) {
-	nw.bucketMsgs += len(msgs) - len(dst.in[sender])
-	nw.depRemoveMsgs(dst.idx, dst.in[sender])
-	nw.depAddMsgs(dst.idx, msgs)
-	if dst.in == nil {
-		dst.in = make(map[handle][]Message)
+// just the repeating representation from then on. Content-identical
+// buckets on an older template are repointed (storage-only move).
+func (nw *Network) installBucketQuiet(dst *RealNode, sender handle, t *flowTemplate, si int32) {
+	if bi := dst.findBucket(sender); bi >= 0 {
+		old := dst.in[bi]
+		if spansEqual(old.flow, old.span, t, si) {
+			if old.flow != t && !old.flow.private {
+				nw.installBucket(dst, sender, t, si, &nw.flow)
+			}
+			return
+		}
+		nw.bucketMsgs += t.spanLen(si) - old.flow.spanLen(old.span)
+		nw.depRemoveSpan(dst.idx, old.flow, old.span)
+	} else {
+		nw.bucketMsgs += t.spanLen(si)
 	}
-	dst.in[sender] = msgs
+	nw.depAddSpan(dst.idx, t, si)
+	nw.installBucket(dst, sender, t, si, &nw.flow)
 }
 
 // dropBucket revokes the sender's standing bucket at the recipient,
@@ -1118,13 +1141,15 @@ func (nw *Network) dropBucket(dst *RealNode, alive bool, sender handle) bool {
 	if !alive || dst == nil {
 		return false
 	}
-	ms, ok := dst.in[sender]
-	if !ok {
+	bi := dst.findBucket(sender)
+	if bi < 0 {
 		return false
 	}
-	nw.bucketMsgs -= len(ms)
-	nw.depRemoveMsgs(dst.idx, ms)
-	delete(dst.in, sender)
+	b := dst.in[bi]
+	nw.bucketMsgs -= b.flow.spanLen(b.span)
+	nw.depRemoveSpan(dst.idx, b.flow, b.span)
+	dst.delBucketAt(bi)
+	releaseBucket(b, &nw.flow)
 	return true
 }
 

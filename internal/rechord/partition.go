@@ -36,7 +36,7 @@ import (
 // local application.
 
 // BucketUpdate mirrors one sender's standing contribution at one
-// recipient: the partitioned form of rerouteOne. Empty Msgs deletes
+// recipient: the partitioned form of rerouteSpan. Empty Msgs deletes
 // the bucket.
 type BucketUpdate struct {
 	From, To ident.ID
@@ -194,11 +194,11 @@ func (p *Partition) Step() RoundStats {
 // rewritten locally exactly as the monolith does (stubs carry shadow
 // buckets, so the sender-side dedup state is complete), and every
 // rewrite whose recipient lives elsewhere is mirrored to the sink.
-func (p *Partition) route(n *RealNode, out []Message, outChanged, _ bool) {
+func (p *Partition) route(n *RealNode, _ []Message, outChanged, _ bool) {
 	if !outChanged {
 		return
 	}
-	p.nw.rerouteWith(n, out, func(dst ident.ID, msgs []Message) {
+	p.nw.rerouteWith(n, p.nw.routeFlow, func(dst ident.ID, msgs []Message) {
 		if p.sink == nil || p.hosted(dst) {
 			return
 		}
@@ -256,14 +256,24 @@ func (p *Partition) flushPublishes() {
 // ApplyBucket installs a remote sender's standing contribution. Safe
 // to apply at every process: at the sender's own host the shadow was
 // already written and the rewrite dedups to a no-op; elsewhere it
-// keeps the stub-to-stub shadows consistent.
+// keeps the stub-to-stub shadows consistent. The contribution lives in
+// a private single-span template — the stub sender has no local flow
+// generation to share.
 func (p *Partition) ApplyBucket(u BucketUpdate) {
 	nw := p.nw
 	slot, ok := nw.pt.lookup(u.From)
 	if !ok {
 		return // sender departed via an op this process already applied
 	}
-	nw.rerouteOne(nw.pt.nodes[slot].h(), u.To, u.Msgs)
+	h := nw.pt.nodes[slot].h()
+	if len(u.Msgs) == 0 {
+		nw.rerouteSpan(h, u.To, nil, -1)
+		return
+	}
+	t := buildPrivateFlow(u.To, u.Msgs)
+	nw.flow.tallyBirth(t)
+	nw.rerouteSpan(h, u.To, t, 0)
+	releaseFlow(t, &nw.flow)
 }
 
 // ApplyOneShot delivers messages to a hosted recipient's inbox.
@@ -341,7 +351,7 @@ func (p *Partition) ApplyPublish(u PeerPublish) {
 // replicated everywhere (Join), and if the joiner is hosted elsewhere,
 // the hosted senders' standing flow that AddPeer re-materialized into
 // the local stub is mirrored to the joiner's host, which cannot see
-// those senders' lastOut.
+// those senders' flow templates.
 func (p *Partition) ApplyJoin(id, contact ident.ID) error {
 	if err := p.nw.Join(id, contact); err != nil {
 		return err
@@ -350,18 +360,14 @@ func (p *Partition) ApplyJoin(id, contact ident.ID) error {
 		return nil
 	}
 	for _, s := range p.nw.pt.nodes {
-		if s == nil || s.id == id || !p.hosted(s.id) {
+		if s == nil || s.id == id || !p.hosted(s.id) || s.lastFlow == nil {
 			continue
 		}
-		var ms []Message
-		for _, m := range s.lastOut {
-			if m.To.Owner == id {
-				ms = append(ms, m)
-			}
+		si := s.lastFlow.findSpan(id)
+		if si < 0 {
+			continue
 		}
-		if len(ms) > 0 {
-			p.sink.SendBucket(BucketUpdate{From: s.id, To: id, Msgs: ms})
-		}
+		p.sink.SendBucket(BucketUpdate{From: s.id, To: id, Msgs: s.lastFlow.appendSpan(nil, si)})
 	}
 	return nil
 }
@@ -398,8 +404,8 @@ func (p *Partition) ApplyFail(id ident.ID) error {
 }
 
 // removeStub is removePeer for a peer hosted elsewhere. The departed
-// stub has no trustworthy lastOut, so the final-delivery walk is a
-// scan over every local peer's standing buckets for the departed
+// stub has no trustworthy flow template, so the final-delivery walk is
+// a scan over every local peer's standing buckets for the departed
 // handle instead: hosted recipients get the flush-to-inbox the
 // monolith performs, stub recipients just drop the shadow (their own
 // hosts flush their copies).
@@ -415,26 +421,35 @@ func (p *Partition) removeStub(id ident.ID, op string) error {
 	nw.dropStateDeps(n.idx)
 	nw.pt.release(n)
 	nw.removeOrder(id)
-	for _, ms := range n.in {
-		nw.bucketMsgs -= len(ms)
-		nw.depRemoveMsgs(n.idx, ms)
+	for _, b := range n.in {
+		nw.bucketMsgs -= b.flow.spanLen(b.span)
+		nw.depRemoveSpan(n.idx, b.flow, b.span)
+		releaseBucket(b, &nw.flow)
+	}
+	n.in = nil
+	if n.lastFlow != nil {
+		releaseFlow(n.lastFlow, &nw.flow)
+		n.lastFlow = nil
 	}
 	for slot, dst := range nw.pt.nodes {
 		if dst == nil {
 			continue
 		}
-		ms, ok := dst.in[h]
-		if !ok {
+		bi := dst.findBucket(h)
+		if bi < 0 {
 			continue
 		}
-		nw.bucketMsgs -= len(ms)
-		nw.depRemoveMsgs(uint32(slot), ms)
-		delete(dst.in, h)
+		b := dst.in[bi]
+		nw.bucketMsgs -= b.flow.spanLen(b.span)
+		nw.depRemoveSpan(uint32(slot), b.flow, b.span)
+		dst.delBucketAt(bi)
 		if p.hosted(dst.id) {
-			dst.inbox = append(dst.inbox, ms...)
+			dst.inbox = b.flow.appendSpan(dst.inbox, b.span)
 			nw.markDirtyIdx(uint32(slot))
 		}
+		releaseBucket(b, &nw.flow)
 	}
+	nw.flushFlowGauges()
 	nw.wakeDependents(map[ident.ID]bool{id: true}, nil)
 	return nil
 }

@@ -108,9 +108,10 @@ type RealNode struct {
 	// execution layer addresses it by (see intern.go).
 	idx, gen uint32
 
-	// in holds the peer's standing inbox as per-sender buckets, keyed
-	// by the sender's handle: the bucket for sender s contains the
-	// messages s emitted at its most recently executed round. In the
+	// in holds the peer's standing inbox as per-sender buckets, sorted
+	// by the sender's handle: the bucket for sender s references s's
+	// contribution (one span of s's immutable flow template, see
+	// flow.go) as emitted at its most recently executed round. In the
 	// synchronous model a peer at a local fixed point regenerates the
 	// same output every round, so the bucket doubles as that repeating
 	// flow: the scheduler replaces a bucket only when the sender's
@@ -119,16 +120,17 @@ type RealNode struct {
 	// full sweep would have delivered. Handle keys make a bucket from a
 	// departed incarnation impossible to confuse with its slot's next
 	// tenant.
-	in map[handle][]Message
+	in []bucket
 	// inbox holds one-shot messages outside the standing flow: leave
 	// goodbyes and the final output of a departed peer. They are
 	// consumed on delivery; buckets are not.
 	inbox []Message
-	// lastOut records the messages generated in the peer's most recent
-	// executed round, for the local stability check and for the
-	// scheduler's output diff; it is derived state and not part of
+	// lastFlow records the messages generated in the peer's most recent
+	// executed round as an immutable template (grouped by recipient),
+	// for the local stability check and the scheduler's output diff;
+	// recipients' buckets alias its spans. Derived state, not part of
 	// global-state equality.
-	lastOut []Message
+	lastFlow *flowTemplate
 
 	// dirty marks the peer as a member of the round frontier: its
 	// inputs may have changed since it last ran, so the next Step must
@@ -328,10 +330,10 @@ func (n *RealNode) inboxMessages() []Message {
 	if len(n.in) == 0 {
 		return n.inbox
 	}
-	out := make([]Message, 0, len(n.inbox)+4*len(n.in))
+	out := make([]Message, 0, n.pendingInbox())
 	out = append(out, n.inbox...)
-	for _, ms := range n.in {
-		out = append(out, ms...)
+	for _, b := range n.in {
+		out = b.flow.appendSpan(out, b.span)
 	}
 	return out
 }
@@ -339,8 +341,8 @@ func (n *RealNode) inboxMessages() []Message {
 // pendingInbox reports how many messages are pending for the peer.
 func (n *RealNode) pendingInbox() int {
 	c := len(n.inbox)
-	for _, ms := range n.in {
-		c += len(ms)
+	for _, b := range n.in {
+		c += b.flow.spanLen(b.span)
 	}
 	return c
 }
@@ -353,13 +355,17 @@ func (n *RealNode) clone() *RealNode {
 		}
 	}
 	if len(n.in) > 0 {
-		c.in = make(map[handle][]Message, len(n.in))
-		for s, ms := range n.in {
-			c.in[s] = append([]Message(nil), ms...)
+		// Buckets are rematerialized as private single-span templates so
+		// the clone neither pins the engine's shared templates alive nor
+		// appears in its flow accounting.
+		c.in = make([]bucket, 0, len(n.in))
+		for _, b := range n.in {
+			c.in = append(c.in, bucket{sender: b.sender, span: 0, flow: b.flow.cloneSpan(b.span)})
 		}
 	}
 	c.inbox = append([]Message(nil), n.inbox...)
-	c.lastOut = append([]Message(nil), n.lastOut...)
+	// lastFlow is derived scheduler state with no consumer on clones;
+	// it stays nil.
 	return c
 }
 
